@@ -1,0 +1,262 @@
+// Benchmark harness: one benchmark per table/figure of the paper (quick
+// scale — identical code paths to the figure-scale cmd/figures run), plus
+// ablation benchmarks for the design choices called out in DESIGN.md §5.
+//
+// Regenerate everything with:
+//
+//	go test -bench=. -benchmem
+//
+// Figure-scale outputs come from: go run ./cmd/figures
+package noisyeval_test
+
+import (
+	"sync"
+	"testing"
+
+	"noisyeval"
+	"noisyeval/internal/core"
+	"noisyeval/internal/exper"
+	"noisyeval/internal/hpo"
+	"noisyeval/internal/rng"
+	"noisyeval/internal/stats"
+)
+
+var (
+	suiteOnce sync.Once
+	suiteVal  *exper.Suite
+)
+
+// benchSuite builds the shared quick-scale suite (bank construction is the
+// one-time cost; every benchmark then resamples from the banks, exactly as
+// the paper's analysis pipeline does).
+func benchSuite(b *testing.B) *exper.Suite {
+	b.Helper()
+	suiteOnce.Do(func() {
+		suiteVal = exper.NewSuite(exper.Quick())
+		// Force-build the four dataset banks outside benchmark timing.
+		for _, name := range exper.DatasetNames {
+			suiteVal.Bank(name)
+		}
+	})
+	return suiteVal
+}
+
+func benchFigure(b *testing.B, id string) {
+	s := benchSuite(b)
+	driver := exper.AllFigures()[id]
+	if driver == nil {
+		b.Fatalf("unknown figure %s", id)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := driver(s)
+		if len(res.CSVRows) == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+// BenchmarkTableDatasets regenerates Tables 1/2 (dataset statistics).
+func BenchmarkTableDatasets(b *testing.B) { benchFigure(b, "table1") }
+
+// BenchmarkFigure1 regenerates Figure 1 (headline noiseless-vs-noisy bars).
+func BenchmarkFigure1(b *testing.B) { benchFigure(b, "figure1") }
+
+// BenchmarkFigure3 regenerates Figure 3 (RS vs subsample size).
+func BenchmarkFigure3(b *testing.B) { benchFigure(b, "figure3") }
+
+// BenchmarkFigure4 regenerates Figure 4 (data heterogeneity x subsampling).
+func BenchmarkFigure4(b *testing.B) { benchFigure(b, "figure4") }
+
+// BenchmarkFigure5 regenerates Figure 5 (error vs training budget).
+func BenchmarkFigure5(b *testing.B) { benchFigure(b, "figure5") }
+
+// BenchmarkFigure6 regenerates Figure 6 (systems heterogeneity bias).
+func BenchmarkFigure6(b *testing.B) { benchFigure(b, "figure6") }
+
+// BenchmarkFigure7 regenerates Figure 7 (full vs min-client error scatter).
+func BenchmarkFigure7(b *testing.B) { benchFigure(b, "figure7") }
+
+// BenchmarkFigure8 regenerates Figure 8 (methods, noiseless vs noisy).
+func BenchmarkFigure8(b *testing.B) { benchFigure(b, "figure8") }
+
+// BenchmarkFigure9 regenerates Figure 9 (privacy budget x subsampling).
+func BenchmarkFigure9(b *testing.B) { benchFigure(b, "figure9") }
+
+// BenchmarkFigure10 regenerates Figure 10 (matched-pair HP transfer).
+func BenchmarkFigure10(b *testing.B) { benchFigure(b, "figure10") }
+
+// BenchmarkFigure11 regenerates Figure 11 (one-shot proxy RS matrix).
+func BenchmarkFigure11(b *testing.B) { benchFigure(b, "figure11") }
+
+// BenchmarkFigure12 regenerates Figure 12 (proxy vs noisy evaluation).
+func BenchmarkFigure12(b *testing.B) { benchFigure(b, "figure12") }
+
+// BenchmarkFigure13 regenerates Figure 13 (search-space width, Appendix C).
+func BenchmarkFigure13(b *testing.B) { benchFigure(b, "figure13") }
+
+// BenchmarkFigure14 regenerates Figure 14 (mismatched-pair transfer).
+func BenchmarkFigure14(b *testing.B) { benchFigure(b, "figure14") }
+
+// BenchmarkFigure15 regenerates Figure 15 (method bars at 1/3 budget).
+func BenchmarkFigure15(b *testing.B) { benchFigure(b, "figure15") }
+
+// BenchmarkFigure16 regenerates Figure 16 (method bars at full budget).
+func BenchmarkFigure16(b *testing.B) { benchFigure(b, "figure16") }
+
+// --- Substrate micro-benchmarks ---
+
+// BenchmarkFederatedRound measures one federated training round (10-client
+// cohort, local SGD, FedAdam aggregation) on the CIFAR10-like population.
+func BenchmarkFederatedRound(b *testing.B) {
+	pop := noisyeval.MustGenerate(noisyeval.CIFAR10Like().Scaled(0.15, 0), noisyeval.NewRNG(1))
+	hp := noisyeval.HParams{ServerLR: 0.01, Beta1: 0.9, Beta2: 0.99, ClientLR: 0.1, BatchSize: 32}
+	tr, err := noisyeval.NewTrainer(pop, hp, noisyeval.DefaultTrainerOptions(), noisyeval.NewRNG(2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Round()
+	}
+}
+
+// BenchmarkBankEvaluation measures one noisy bank evaluation (subsample +
+// weighted aggregate), the inner loop of every experiment.
+func BenchmarkBankEvaluation(b *testing.B) {
+	s := benchSuite(b)
+	bank := s.Bank("cifar10")
+	oracle, err := core.NewBankOracle(bank, 0, noisyeval.SchemeWithCount(3), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := bank.Configs[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		oracle.Evaluate(cfg, bank.MaxRounds(), "bench")
+	}
+}
+
+// BenchmarkBankBuild measures building a miniature config bank end to end
+// (the one-time artifact cost every experiment amortizes).
+func BenchmarkBankBuild(b *testing.B) {
+	spec := noisyeval.CIFAR10Like().Scaled(0.06, 0)
+	spec.MeanExamples, spec.MinExamples, spec.MaxExamples = 20, 15, 25
+	pop := noisyeval.MustGenerate(spec, noisyeval.NewRNG(1))
+	opts := noisyeval.DefaultBuildOptions()
+	opts.NumConfigs = 4
+	opts.MaxRounds = 9
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := noisyeval.BuildBank(pop, opts, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablation benchmarks (DESIGN.md §5) ---
+
+// runRSTrials is the shared ablation harness: bootstrap RS over the
+// cifar10-like bank under a noise setting, reporting the median final error
+// as a benchmark metric.
+func runRSTrials(b *testing.B, s *exper.Suite, noise core.Noise, method hpo.Method, label string) {
+	bank := s.Bank("cifar10")
+	oracle, err := core.NewBankOracle(bank, noise.HeterogeneityP, noise.Scheme(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := s.Cfg
+	tn := core.Tuner{Method: method, Space: hpo.DefaultSpace(), Settings: noise.Settings(cfg.Settings())}
+	var med float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		finals := core.FinalErrors(tn.RunTrials(oracle, cfg.Trials, rng.New(uint64(i)).Split(label)))
+		med = stats.Median(finals)
+	}
+	b.ReportMetric(med*100, "median_err_%")
+}
+
+// BenchmarkAblationWeightedEval compares the paper's weighted aggregation
+// against uniform weighting under subsampling (footnote 1 design choice).
+func BenchmarkAblationWeightedEval(b *testing.B) {
+	s := benchSuite(b)
+	b.Run("weighted", func(b *testing.B) {
+		runRSTrials(b, s, core.Noise{SampleCount: 2}, hpo.RandomSearch{}, "abl-weighted")
+	})
+	b.Run("uniform", func(b *testing.B) {
+		runRSTrials(b, s, core.Noise{SampleCount: 2, Uniform: true}, hpo.RandomSearch{}, "abl-uniform")
+	})
+}
+
+// BenchmarkAblationReeval compares plain RS against re-evaluation-averaged
+// RS (the §5 "simple trick") under subsampling noise.
+func BenchmarkAblationReeval(b *testing.B) {
+	s := benchSuite(b)
+	b.Run("plain", func(b *testing.B) {
+		runRSTrials(b, s, core.Noise{SampleCount: 1}, hpo.RandomSearch{}, "abl-plain")
+	})
+	b.Run("reeval3", func(b *testing.B) {
+		runRSTrials(b, s, core.Noise{SampleCount: 1}, hpo.ResampledRS{Reps: 3}, "abl-reeval")
+	})
+}
+
+// BenchmarkAblationTPEPool varies TPE's candidate pool size (EI candidates
+// scored per iteration).
+func BenchmarkAblationTPEPool(b *testing.B) {
+	s := benchSuite(b)
+	for _, n := range []int{8, 24, 48} {
+		n := n
+		b.Run(sizeName(n), func(b *testing.B) {
+			runRSTrials(b, s, core.Noise{SampleCount: 2}, hpo.TPE{NCandidates: n}, "abl-tpe")
+		})
+	}
+}
+
+// BenchmarkAblationCheckpointDensity compares Hyperband on banks built with
+// dense (5-level) vs sparse (2-level) checkpoint grids: sparse grids force
+// low-fidelity evaluations onto higher rungs.
+func BenchmarkAblationCheckpointDensity(b *testing.B) {
+	spec := noisyeval.CIFAR10Like().Scaled(0.08, 0)
+	spec.MeanExamples, spec.MinExamples, spec.MaxExamples = 20, 15, 25
+	pop := noisyeval.MustGenerate(spec, noisyeval.NewRNG(3))
+	for _, levels := range []int{2, 5} {
+		levels := levels
+		b.Run(sizeName(levels), func(b *testing.B) {
+			opts := noisyeval.DefaultBuildOptions()
+			opts.NumConfigs = 8
+			opts.MaxRounds = 27
+			opts.Levels = levels
+			bank, err := noisyeval.BuildBank(pop, opts, 4)
+			if err != nil {
+				b.Fatal(err)
+			}
+			oracle, err := core.NewBankOracle(bank, 0, noisyeval.SchemeWithCount(2), 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			tn := core.Tuner{
+				Method: hpo.Hyperband{},
+				Space:  hpo.DefaultSpace(),
+				Settings: hpo.Settings{
+					Budget: hpo.Budget{TotalRounds: 8 * 27, MaxPerConfig: 27, K: 8},
+				}.Normalize(),
+			}
+			var med float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				finals := core.FinalErrors(tn.RunTrials(oracle, 8, rng.New(uint64(i)).Split("abl-ckpt")))
+				med = stats.Median(finals)
+			}
+			b.ReportMetric(med*100, "median_err_%")
+		})
+	}
+}
+
+func sizeName(n int) string {
+	switch {
+	case n < 10:
+		return "n" + string(rune('0'+n))
+	default:
+		return "n" + string(rune('0'+n/10)) + string(rune('0'+n%10))
+	}
+}

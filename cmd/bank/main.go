@@ -1,0 +1,96 @@
+// Command bank builds a config bank (the study's reusable training
+// artifact) for one dataset and writes it to disk for cmd/figures and
+// cmd/fedtune to reuse.
+//
+// Usage:
+//
+//	bank -dataset cifar10 -out results/banks/cifar10.bank -scale 1.0 -configs 128 -rounds 405
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"noisyeval/internal/core"
+	"noisyeval/internal/data"
+	"noisyeval/internal/rng"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("bank: ")
+
+	var (
+		dataset    = flag.String("dataset", "cifar10", "dataset: cifar10|femnist|stackoverflow|reddit")
+		out        = flag.String("out", "", "output path (default results/banks/<dataset>.bank)")
+		scale      = flag.Float64("scale", 1.0, "client-count scale factor")
+		capEx      = flag.Int("cap", 500, "per-client example cap (0 = none)")
+		configs    = flag.Int("configs", 128, "config pool size")
+		rounds     = flag.Int("rounds", 405, "max training rounds per config")
+		seed       = flag.Uint64("seed", 1, "RNG seed")
+		partitions = flag.String("partitions", "0.5,1", "extra iid-repartition fractions (comma-separated)")
+		workers    = flag.Int("workers", 0, "build parallelism (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	spec, err := specByName(*dataset)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec = spec.Scaled(*scale, *capEx)
+
+	path := *out
+	if path == "" {
+		path = fmt.Sprintf("results/banks/%s.bank", *dataset)
+	}
+
+	var ps []float64
+	for _, tok := range strings.Split(*partitions, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(tok, 64)
+		if err != nil {
+			log.Fatalf("bad partition %q: %v", tok, err)
+		}
+		ps = append(ps, v)
+	}
+
+	log.Printf("generating %s population (%d train / %d eval clients)...", spec.Name, spec.TrainClients, spec.EvalClients)
+	pop := data.MustGenerate(spec, rng.New(*seed).Split("pop-"+spec.Name))
+
+	opts := core.DefaultBuildOptions()
+	opts.NumConfigs = *configs
+	opts.MaxRounds = *rounds
+	opts.Partitions = ps
+	opts.Workers = *workers
+
+	log.Printf("training %d configs x %d rounds (checkpoints at rungs, partitions %v)...", *configs, *rounds, append([]float64{0}, ps...))
+	start := time.Now()
+	bank, err := core.BuildBank(pop, opts, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("built in %s", time.Since(start).Round(time.Second))
+
+	if err := core.SaveBank(bank, path); err != nil {
+		log.Fatal(err)
+	}
+	info, _ := os.Stat(path)
+	log.Printf("wrote %s (%d bytes)", path, info.Size())
+}
+
+func specByName(name string) (data.Spec, error) {
+	for _, s := range data.AllSpecs() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return data.Spec{}, fmt.Errorf("unknown dataset %q", name)
+}

@@ -1,0 +1,124 @@
+// Command fedtune runs one federated hyperparameter tuning job: pick a
+// dataset, a method, and a noise setting; get back the chosen configuration
+// and its true full-validation error.
+//
+// Usage:
+//
+//	fedtune -dataset cifar10 -method rs -sample-frac 0.01 -epsilon 100 -trials 8
+//	fedtune -dataset femnist -method bohb -bank results/banks/femnist.bank
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"noisyeval/internal/core"
+	"noisyeval/internal/exper"
+	"noisyeval/internal/hpo"
+	"noisyeval/internal/rng"
+	"noisyeval/internal/stats"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fedtune: ")
+
+	var (
+		dataset    = flag.String("dataset", "cifar10", "dataset: cifar10|femnist|stackoverflow|reddit")
+		methodName = flag.String("method", "rs", "method: rs|grid|tpe|sha|hb|bohb|reeval|noisybo")
+		bankPath   = flag.String("bank", "", "pre-built bank path (default: build a quick bank)")
+		sampleN    = flag.Int("sample-count", 0, "eval clients per evaluation (0 = use -sample-frac)")
+		sampleFrac = flag.Float64("sample-frac", 0, "eval client fraction (0 = full evaluation)")
+		bias       = flag.Float64("bias", 0, "systems-heterogeneity exponent b")
+		epsilon    = flag.Float64("epsilon", 0, "total DP budget (0 = non-private)")
+		hetP       = flag.Float64("p", 0, "iid repartition fraction (bank must record it)")
+		trials     = flag.Int("trials", 8, "bootstrap trials")
+		seed       = flag.Uint64("seed", 1, "RNG seed")
+		quick      = flag.Bool("quick", true, "quick-scale bank when none is supplied")
+	)
+	flag.Parse()
+
+	method, err := methodByName(*methodName)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := exper.Default()
+	if *quick {
+		cfg = exper.Quick()
+	}
+	cfg.Seed = *seed
+	suite := exper.NewSuite(cfg)
+
+	var bank *core.Bank
+	if *bankPath != "" {
+		bank, err = core.LoadBank(*bankPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		suite.SetBank(bank.SpecName, bank)
+		*dataset = bank.SpecName
+	} else {
+		log.Printf("building %s bank (quick=%v)...", *dataset, *quick)
+		start := time.Now()
+		bank = suite.Bank(*dataset)
+		log.Printf("bank ready in %s", time.Since(start).Round(time.Millisecond))
+	}
+
+	noise := core.Noise{
+		SampleCount:    *sampleN,
+		SampleFraction: *sampleFrac,
+		Bias:           *bias,
+		Epsilon:        *epsilon,
+		HeterogeneityP: *hetP,
+	}
+	oracle, err := core.NewBankOracle(bank, noise.HeterogeneityP, noise.Scheme(), *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	settings := noise.Settings(hpo.Settings{Budget: cfg.Budget()})
+	tn := core.Tuner{Method: method, Space: hpo.DefaultSpace(), Settings: settings}
+
+	log.Printf("tuning %s on %s under [%s], %d trials, budget %d rounds",
+		method.Name(), *dataset, noise, *trials, settings.Budget.TotalRounds)
+	results := tn.RunTrials(oracle, *trials, rng.New(*seed).Split("fedtune"))
+	finals := core.FinalErrors(results)
+	sum := stats.Summarize(finals)
+
+	fmt.Printf("\n%s on %s [%s]\n", method.Name(), *dataset, noise)
+	fmt.Printf("final full-validation error over %d trials:\n", *trials)
+	fmt.Printf("  median %.2f%%   q1 %.2f%%   q3 %.2f%%   mean %.2f%%\n",
+		sum.Median*100, sum.Q1*100, sum.Q3*100, sum.Mean*100)
+	if rec, ok := results[0].History.Recommend(); ok {
+		fmt.Printf("trial-0 chosen config: server lr %.3g (b1 %.2f, b2 %.3f), client lr %.3g (mom %.2f), batch %d\n",
+			rec.Config.ServerLR, rec.Config.Beta1, rec.Config.Beta2,
+			rec.Config.ClientLR, rec.Config.ClientMomentum, rec.Config.BatchSize)
+	}
+}
+
+func methodByName(name string) (hpo.Method, error) {
+	switch strings.ToLower(name) {
+	case "rs", "random":
+		return hpo.RandomSearch{}, nil
+	case "grid":
+		return hpo.GridSearch{}, nil
+	case "tpe":
+		return hpo.TPE{}, nil
+	case "sha":
+		return hpo.SuccessiveHalving{}, nil
+	case "hb", "hyperband":
+		return hpo.Hyperband{}, nil
+	case "bohb":
+		return hpo.BOHB{}, nil
+	case "reeval":
+		return hpo.ResampledRS{}, nil
+	case "noisybo":
+		return hpo.NoisyBO{}, nil
+	default:
+		return nil, fmt.Errorf("unknown method %q", name)
+	}
+}

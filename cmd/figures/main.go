@@ -1,0 +1,88 @@
+// Command figures regenerates every table and figure of the paper's
+// evaluation, writing a text rendering and a CSV per experiment into the
+// output directory.
+//
+// Usage:
+//
+//	figures -quick                 # miniature banks, seconds
+//	figures                        # figure-scale banks (minutes)
+//	figures -only figure3,figure9  # subset
+//	figures -banks results/banks   # reuse banks built by cmd/bank
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"noisyeval/internal/core"
+	"noisyeval/internal/exper"
+	"noisyeval/internal/plot"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("figures: ")
+
+	var (
+		quick  = flag.Bool("quick", false, "miniature configuration (tests-scale)")
+		outDir = flag.String("out", "results", "output directory")
+		only   = flag.String("only", "", "comma-separated subset of experiment ids")
+		banks  = flag.String("banks", "", "directory of pre-built <dataset>.bank files to reuse")
+		seed   = flag.Uint64("seed", 1, "RNG seed")
+	)
+	flag.Parse()
+
+	cfg := exper.Default()
+	if *quick {
+		cfg = exper.Quick()
+	}
+	cfg.Seed = *seed
+	suite := exper.NewSuite(cfg)
+
+	if *banks != "" {
+		for _, name := range exper.DatasetNames {
+			path := filepath.Join(*banks, name+".bank")
+			b, err := core.LoadBank(path)
+			if err != nil {
+				log.Printf("skipping %s: %v", path, err)
+				continue
+			}
+			suite.SetBank(name, b)
+			log.Printf("loaded %s (%d configs, %d clients)", path, len(b.Configs), b.NumClients())
+		}
+	}
+
+	selected := exper.FigureOrder()
+	if *only != "" {
+		selected = strings.Split(*only, ",")
+	}
+	registry := exper.AllFigures()
+
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	for _, id := range selected {
+		driver, ok := registry[strings.TrimSpace(id)]
+		if !ok {
+			log.Fatalf("unknown experiment %q (known: %s)", id, strings.Join(exper.FigureOrder(), ", "))
+		}
+		start := time.Now()
+		res := driver(suite)
+		txtPath := filepath.Join(*outDir, res.ID+".txt")
+		if err := os.WriteFile(txtPath, []byte(res.Title+"\n\n"+res.Text()), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		csvPath := filepath.Join(*outDir, res.ID+".csv")
+		if err := plot.WriteCSV(csvPath, res.CSVHeader, res.CSVRows); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("%-9s -> %s, %s (%s)", res.ID, txtPath, csvPath, time.Since(start).Round(time.Millisecond))
+		fmt.Println(res.Title)
+		fmt.Println(res.Text())
+	}
+}

@@ -1,0 +1,302 @@
+// Package core implements the paper's experimental protocol: the ConfigBank
+// of pre-trained hyperparameter configurations with per-client error records
+// (the artifact's fedtrain_simple + analysis methodology — train 128 configs
+// once, then bootstrap hundreds of tuning trials from the recorded
+// evaluations), the oracles that tuning methods query (bank-backed and
+// live), and the Tuner/Trial orchestration used by every experiment.
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"noisyeval/internal/data"
+	"noisyeval/internal/fl"
+	"noisyeval/internal/hpo"
+	"noisyeval/internal/rng"
+)
+
+// Bank holds the study's reusable training artifact: for every configuration
+// and every checkpoint (SHA rung), the error of the trained model on every
+// validation client under every evaluation partition. All noisy-evaluation
+// experiments are bootstrap resamples of these records, exactly as in the
+// paper's analysis pipeline.
+type Bank struct {
+	// SpecName identifies the dataset population.
+	SpecName string
+	// Seed is the RNG seed the bank was built with.
+	Seed uint64
+	// Configs is the candidate pool (the paper's 128 RS draws).
+	Configs []fl.HParams
+	// Rounds is the ascending checkpoint grid (SHA rungs, e.g. 5..405).
+	Rounds []int
+	// Partitions are the iid-repartition fractions p of the validation
+	// pool for which errors were recorded (Figure 4); always includes 0
+	// (the natural partition) at index 0.
+	Partitions []float64
+	// Errs[p][c][r] is the per-client error vector of config c at
+	// checkpoint r under partition p.
+	Errs [][][][]float64
+	// ExampleCounts[p][k] is validation client k's example count under
+	// partition p (weights for Eq. 2; repartitioning preserves sizes, so
+	// rows are equal, but they are stored per partition for integrity).
+	ExampleCounts [][]int
+	// Diverged[c] reports whether config c's training hit NaN.
+	Diverged []bool
+
+	index map[fl.HParams]int
+}
+
+// BuildOptions configures bank construction.
+type BuildOptions struct {
+	// NumConfigs is the candidate pool size (paper: 128).
+	NumConfigs int
+	// MaxRounds is the per-config training budget (paper: 405).
+	MaxRounds int
+	// Eta and Levels define the checkpoint rung grid (paper: 3, 5).
+	Eta, Levels int
+	// Partitions lists iid fractions p to record (nil = natural only).
+	Partitions []float64
+	// Train configures the federated trainer.
+	Train fl.Options
+	// Workers bounds build parallelism (0 = GOMAXPROCS).
+	Workers int
+	// Space is the sampling space for the pool (zero value = DefaultSpace).
+	Space hpo.Space
+	// Configs, when non-empty, overrides pool sampling. The transfer
+	// experiments (Figures 10/11/12/14) train the SAME pool on every
+	// dataset, so their banks share this list.
+	Configs []fl.HParams
+}
+
+// DefaultBuildOptions returns the paper's bank shape.
+func DefaultBuildOptions() BuildOptions {
+	return BuildOptions{
+		NumConfigs: 128,
+		MaxRounds:  405,
+		Eta:        3,
+		Levels:     5,
+		Train:      fl.DefaultOptions(),
+		Space:      hpo.DefaultSpace(),
+	}
+}
+
+// BuildBank trains opts.NumConfigs configurations on the population and
+// records per-client errors at every checkpoint under every partition.
+// Construction is deterministic in (pop, opts, seed) and parallel across
+// configurations.
+func BuildBank(pop *data.Population, opts BuildOptions, seed uint64) (*Bank, error) {
+	if opts.NumConfigs < 1 {
+		return nil, fmt.Errorf("core: NumConfigs %d must be >= 1", opts.NumConfigs)
+	}
+	if opts.MaxRounds < 1 {
+		return nil, fmt.Errorf("core: MaxRounds %d must be >= 1", opts.MaxRounds)
+	}
+	if opts.Eta < 2 {
+		opts.Eta = 3
+	}
+	if opts.Levels < 1 {
+		opts.Levels = 5
+	}
+	if opts.Train.ClientsPerRound == 0 {
+		opts.Train = fl.DefaultOptions()
+	}
+	if err := opts.Space.Validate(); err != nil {
+		// Zero-value space means "use the default".
+		opts.Space = hpo.DefaultSpace()
+	}
+
+	root := rng.New(seed)
+	rounds := hpo.RungRounds(opts.MaxRounds, opts.Eta, opts.Levels)
+	partitions := append([]float64{0}, opts.Partitions...)
+	partitions = dedupFloats(partitions)
+
+	// Build the evaluation pools: partition 0 is the natural split; others
+	// are iid repartitions (sizes preserved).
+	pools := make([][]*data.Client, len(partitions))
+	counts := make([][]int, len(partitions))
+	for pi, p := range partitions {
+		if p == 0 {
+			pools[pi] = pop.Val
+		} else {
+			pools[pi] = data.RepartitionIID(pop.Val, p, root.Splitf("repartition-%.3f", p))
+		}
+		counts[pi] = exampleCounts(pools[pi])
+	}
+
+	configs := opts.Configs
+	if len(configs) == 0 {
+		configs = opts.Space.SampleN(opts.NumConfigs, root.Split("pool"))
+	}
+
+	b := &Bank{
+		SpecName:      pop.Spec.Name,
+		Seed:          seed,
+		Configs:       configs,
+		Rounds:        rounds,
+		Partitions:    partitions,
+		ExampleCounts: counts,
+		Diverged:      make([]bool, len(configs)),
+	}
+	b.Errs = make([][][][]float64, len(partitions))
+	for pi := range partitions {
+		b.Errs[pi] = make([][][]float64, len(configs))
+		for ci := range configs {
+			b.Errs[pi][ci] = make([][]float64, len(rounds))
+		}
+	}
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var (
+		wg       sync.WaitGroup
+		sem      = make(chan struct{}, workers)
+		firstErr error
+		errOnce  sync.Once
+	)
+	for ci := range configs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(ci int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			tr, err := fl.NewTrainer(pop, configs[ci], opts.Train, root.Splitf("config-%d", ci))
+			if err != nil {
+				errOnce.Do(func() { firstErr = fmt.Errorf("core: config %d: %w", ci, err) })
+				return
+			}
+			for ri, r := range rounds {
+				tr.TrainTo(r)
+				for pi := range partitions {
+					b.Errs[pi][ci][ri] = tr.EvalClients(pools[pi])
+				}
+			}
+			b.Diverged[ci] = tr.Diverged()
+		}(ci)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	b.buildIndex()
+	return b, nil
+}
+
+// buildIndex (re)creates the config lookup map (needed after gob decoding).
+func (b *Bank) buildIndex() {
+	b.index = make(map[fl.HParams]int, len(b.Configs))
+	for i, c := range b.Configs {
+		b.index[c] = i
+	}
+}
+
+// ConfigIndex returns the pool index of cfg, or an error if the config is
+// not a bank member (bank oracles only serve pool configs).
+func (b *Bank) ConfigIndex(cfg fl.HParams) (int, error) {
+	if b.index == nil {
+		b.buildIndex()
+	}
+	if i, ok := b.index[cfg]; ok {
+		return i, nil
+	}
+	return 0, fmt.Errorf("core: config %+v is not in the bank", cfg)
+}
+
+// PartitionIndex returns the index of iid fraction p.
+func (b *Bank) PartitionIndex(p float64) (int, error) {
+	for i, v := range b.Partitions {
+		if v == p {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("core: partition p=%g not recorded (have %v)", p, b.Partitions)
+}
+
+// CheckpointIndex returns the index of the highest checkpoint <= rounds
+// (clamped to the first checkpoint for smaller values).
+func (b *Bank) CheckpointIndex(rounds int) int {
+	idx := sort.SearchInts(b.Rounds, rounds+1) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return idx
+}
+
+// MaxRounds returns the highest checkpoint.
+func (b *Bank) MaxRounds() int { return b.Rounds[len(b.Rounds)-1] }
+
+// NumClients returns the validation pool size.
+func (b *Bank) NumClients() int { return len(b.ExampleCounts[0]) }
+
+// ClientErrors returns the per-client error vector for (partition p, config
+// index, rounds). The slice is owned by the bank; callers must not modify it.
+func (b *Bank) ClientErrors(partition float64, configIdx, rounds int) ([]float64, error) {
+	pi, err := b.PartitionIndex(partition)
+	if err != nil {
+		return nil, err
+	}
+	if configIdx < 0 || configIdx >= len(b.Configs) {
+		return nil, fmt.Errorf("core: config index %d out of range [0, %d)", configIdx, len(b.Configs))
+	}
+	return b.Errs[pi][configIdx][b.CheckpointIndex(rounds)], nil
+}
+
+// Validate checks the bank's structural integrity (used after loading).
+func (b *Bank) Validate() error {
+	if len(b.Configs) == 0 || len(b.Rounds) == 0 || len(b.Partitions) == 0 {
+		return fmt.Errorf("core: bank has empty configs/rounds/partitions")
+	}
+	if b.Partitions[0] != 0 {
+		return fmt.Errorf("core: partition 0 must be the natural split, got %v", b.Partitions)
+	}
+	if !sort.IntsAreSorted(b.Rounds) {
+		return fmt.Errorf("core: checkpoint rounds %v not sorted", b.Rounds)
+	}
+	if len(b.Errs) != len(b.Partitions) || len(b.ExampleCounts) != len(b.Partitions) {
+		return fmt.Errorf("core: partition dimension mismatch")
+	}
+	n := len(b.ExampleCounts[0])
+	for pi := range b.Errs {
+		if len(b.Errs[pi]) != len(b.Configs) {
+			return fmt.Errorf("core: partition %d has %d configs, want %d", pi, len(b.Errs[pi]), len(b.Configs))
+		}
+		for ci := range b.Errs[pi] {
+			if len(b.Errs[pi][ci]) != len(b.Rounds) {
+				return fmt.Errorf("core: config %d has %d checkpoints, want %d", ci, len(b.Errs[pi][ci]), len(b.Rounds))
+			}
+			for ri := range b.Errs[pi][ci] {
+				if len(b.Errs[pi][ci][ri]) != n {
+					return fmt.Errorf("core: errs[%d][%d][%d] has %d clients, want %d", pi, ci, ri, len(b.Errs[pi][ci][ri]), n)
+				}
+			}
+		}
+	}
+	if len(b.Diverged) != len(b.Configs) {
+		return fmt.Errorf("core: diverged flags mismatch")
+	}
+	return nil
+}
+
+func exampleCounts(clients []*data.Client) []int {
+	out := make([]int, len(clients))
+	for i, c := range clients {
+		out[i] = c.NumExamples()
+	}
+	return out
+}
+
+func dedupFloats(xs []float64) []float64 {
+	seen := map[float64]bool{}
+	var out []float64
+	for _, x := range xs {
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	return out
+}

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"compress/gzip"
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// SaveBank writes the bank to path as gzipped gob. Banks are the expensive
+// artifact of the study (cmd/bank builds them; cmd/figures reuses them).
+func SaveBank(b *Bank, path string) error {
+	if err := b.Validate(); err != nil {
+		return fmt.Errorf("core: refusing to save invalid bank: %w", err)
+	}
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("core: save bank: %w", err)
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("core: save bank: %w", err)
+	}
+	defer f.Close()
+	zw := gzip.NewWriter(f)
+	if err := gob.NewEncoder(zw).Encode(b); err != nil {
+		return fmt.Errorf("core: encode bank: %w", err)
+	}
+	if err := zw.Close(); err != nil {
+		return fmt.Errorf("core: flush bank: %w", err)
+	}
+	return f.Close()
+}
+
+// LoadBank reads a bank written by SaveBank and validates it.
+func LoadBank(path string) (*Bank, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: load bank: %w", err)
+	}
+	defer f.Close()
+	zr, err := gzip.NewReader(f)
+	if err != nil {
+		return nil, fmt.Errorf("core: load bank: %w", err)
+	}
+	defer zr.Close()
+	var b Bank
+	if err := gob.NewDecoder(zr).Decode(&b); err != nil {
+		return nil, fmt.Errorf("core: decode bank: %w", err)
+	}
+	if err := b.Validate(); err != nil {
+		return nil, fmt.Errorf("core: loaded bank invalid: %w", err)
+	}
+	b.buildIndex()
+	return &b, nil
+}

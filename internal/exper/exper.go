@@ -1,0 +1,372 @@
+// Package exper contains one driver per table and figure of the paper's
+// evaluation. Every driver consumes a Suite (the four dataset banks built
+// with a shared config pool) and returns a Result holding the series the
+// paper reports plus a text rendering; cmd/figures writes these to disk.
+//
+// See DESIGN.md §4 for the experiment index and EXPERIMENTS.md for
+// paper-vs-measured outcomes.
+package exper
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"noisyeval/internal/core"
+	"noisyeval/internal/data"
+	"noisyeval/internal/fl"
+	"noisyeval/internal/hpo"
+	"noisyeval/internal/plot"
+	"noisyeval/internal/rng"
+)
+
+// DatasetNames lists the study's datasets in the paper's order.
+var DatasetNames = []string{"cifar10", "femnist", "stackoverflow", "reddit"}
+
+// Config scales the reproduction. Defaults reproduce every figure at
+// "figure scale" (client populations scaled to keep the full pipeline
+// tractable on a laptop; subsample percentages preserved); Quick() is the
+// miniature used by tests and benchmarks.
+type Config struct {
+	// Scales maps dataset name -> client-count scale factor.
+	Scales map[string]float64
+	// CapExamples truncates the per-client example tail (text datasets).
+	CapExamples int
+	// BankConfigs is the candidate pool size (paper: 128).
+	BankConfigs int
+	// MaxRounds is the per-config training budget (paper: 405).
+	MaxRounds int
+	// K is the RS/TPE config count (paper: 16).
+	K int
+	// Trials is the number of bootstrap RS trials per point (paper: 100).
+	Trials int
+	// MethodTrials is the number of tuning-run trials for the method
+	// comparison figures (paper: 8).
+	MethodTrials int
+	// Seed drives all randomness.
+	Seed uint64
+	// Workers bounds bank-build parallelism (0 = GOMAXPROCS).
+	Workers int
+	// Fig13Datasets lists datasets for the search-space-width experiment
+	// (each needs its own per-decade banks; default cifar10 only).
+	Fig13Datasets []string
+	// Fig13Configs is the pool size per decade bank (paper: 128).
+	Fig13Configs int
+}
+
+// Default returns figure-scale configuration.
+func Default() Config {
+	return Config{
+		Scales: map[string]float64{
+			"cifar10":       1.0,
+			"femnist":       0.25,
+			"stackoverflow": 0.1,
+			"reddit":        0.05,
+		},
+		CapExamples:   500,
+		BankConfigs:   128,
+		MaxRounds:     405,
+		K:             16,
+		Trials:        100,
+		MethodTrials:  8,
+		Seed:          1,
+		Fig13Datasets: []string{"cifar10"},
+		Fig13Configs:  64,
+	}
+}
+
+// Quick returns the miniature configuration used by tests and benchmarks:
+// tiny populations, short training, few trials — every driver still runs
+// end-to-end through the same code paths.
+func Quick() Config {
+	return Config{
+		Scales: map[string]float64{
+			"cifar10":       0.12,
+			"femnist":       0.04,
+			"stackoverflow": 0.004,
+			"reddit":        0.0012,
+		},
+		CapExamples:   60,
+		BankConfigs:   16,
+		MaxRounds:     27,
+		K:             8,
+		Trials:        12,
+		MethodTrials:  3,
+		Seed:          1,
+		Fig13Datasets: []string{"cifar10"},
+		Fig13Configs:  12,
+	}
+}
+
+// Budget returns the tuning budget implied by the config (paper: 16 × 405 =
+// 6480 rounds).
+func (c Config) Budget() hpo.Budget {
+	return hpo.Budget{TotalRounds: c.K * c.MaxRounds, MaxPerConfig: c.MaxRounds, K: c.K}
+}
+
+// Settings returns baseline tuning settings (no DP).
+func (c Config) Settings() hpo.Settings {
+	return hpo.Settings{Budget: c.Budget(), Epsilon: math.Inf(1), Eta: 3, Brackets: 5}
+}
+
+// spec returns the scaled dataset spec.
+func (c Config) spec(name string) data.Spec {
+	var s data.Spec
+	switch name {
+	case "cifar10":
+		s = data.CIFAR10Like()
+	case "femnist":
+		s = data.FEMNISTLike()
+	case "stackoverflow":
+		s = data.StackOverflowLike()
+	case "reddit":
+		s = data.RedditLike()
+	default:
+		panic(fmt.Sprintf("exper: unknown dataset %q", name))
+	}
+	scale, ok := c.Scales[name]
+	if !ok {
+		scale = 1
+	}
+	return s.Scaled(scale, c.CapExamples)
+}
+
+// Suite holds the populations and banks every figure driver consumes. Build
+// it once (NewSuite) and reuse it across drivers; banks are built lazily and
+// cached.
+type Suite struct {
+	Cfg Config
+
+	mu    sync.Mutex
+	pops  map[string]*data.Population
+	banks map[string]*core.Bank
+	pool  []fl.HParams // shared config pool across datasets
+	d13   map[string]*core.Bank
+}
+
+// NewSuite prepares a suite (populations and banks are created on demand).
+func NewSuite(cfg Config) *Suite {
+	return &Suite{
+		Cfg:   cfg,
+		pops:  map[string]*data.Population{},
+		banks: map[string]*core.Bank{},
+		d13:   map[string]*core.Bank{},
+	}
+}
+
+// SharedPool returns the config pool shared by all dataset banks.
+func (s *Suite) SharedPool() []fl.HParams {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sharedPoolLocked()
+}
+
+func (s *Suite) sharedPoolLocked() []fl.HParams {
+	if s.pool == nil {
+		s.pool = hpo.DefaultSpace().SampleN(s.Cfg.BankConfigs, rng.New(s.Cfg.Seed).Split("shared-pool"))
+	}
+	return s.pool
+}
+
+// Population returns (building if needed) the dataset population.
+func (s *Suite) Population(name string) *data.Population {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.populationLocked(name)
+}
+
+func (s *Suite) populationLocked(name string) *data.Population {
+	if p, ok := s.pops[name]; ok {
+		return p
+	}
+	p := data.MustGenerate(s.Cfg.spec(name), rng.New(s.Cfg.Seed).Split("pop-"+name))
+	s.pops[name] = p
+	return p
+}
+
+// Bank returns (building if needed) the dataset's config bank with
+// partitions p ∈ {0, 0.5, 1} and the shared pool.
+func (s *Suite) Bank(name string) *core.Bank {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if b, ok := s.banks[name]; ok {
+		return b
+	}
+	pop := s.populationLocked(name)
+	opts := core.DefaultBuildOptions()
+	opts.NumConfigs = s.Cfg.BankConfigs
+	opts.MaxRounds = s.Cfg.MaxRounds
+	opts.Partitions = []float64{0.5, 1}
+	opts.Workers = s.Cfg.Workers
+	opts.Configs = s.sharedPoolLocked()
+	b, err := core.BuildBank(pop, opts, s.Cfg.Seed+uint64(len(name)))
+	if err != nil {
+		panic(fmt.Sprintf("exper: bank %s: %v", name, err))
+	}
+	s.banks[name] = b
+	return b
+}
+
+// SetBank installs a pre-built bank (cmd/figures loads banks built by
+// cmd/bank). The bank's pool becomes the shared pool if none is set yet.
+func (s *Suite) SetBank(name string, b *core.Bank) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.banks[name] = b
+	if s.pool == nil {
+		s.pool = b.Configs
+	}
+}
+
+// DecadeBank returns the Figure-13 bank for (dataset, decades): its own pool
+// sampled from the nested server-lr space.
+func (s *Suite) DecadeBank(name string, decades int) *core.Bank {
+	key := fmt.Sprintf("%s-d%d", name, decades)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if b, ok := s.d13[key]; ok {
+		return b
+	}
+	pop := s.populationLocked(name)
+	opts := core.DefaultBuildOptions()
+	opts.NumConfigs = s.Cfg.Fig13Configs
+	opts.MaxRounds = s.Cfg.MaxRounds
+	opts.Workers = s.Cfg.Workers
+	opts.Space = hpo.DefaultSpace().WithServerLRDecades(float64(decades))
+	b, err := core.BuildBank(pop, opts, s.Cfg.Seed+uint64(100+decades))
+	if err != nil {
+		panic(fmt.Sprintf("exper: decade bank %s: %v", key, err))
+	}
+	s.d13[key] = b
+	return b
+}
+
+// Result is a rendered experiment outcome.
+type Result struct {
+	ID    string // "figure3", "table1", ...
+	Title string
+	// Lines is the text rendering (charts + numbers).
+	Lines []string
+	// CSVHeader/CSVRows hold the underlying numbers for results/<id>.csv.
+	CSVHeader []string
+	CSVRows   [][]string
+}
+
+// Text returns the rendering as one string.
+func (r Result) Text() string {
+	out := ""
+	for _, l := range r.Lines {
+		out += l + "\n"
+	}
+	return out
+}
+
+// subsampleCounts returns the paper's per-dataset raw evaluation-client
+// counts scaled to the suite's pool size (deduplicated, ascending, always
+// ending at the full pool).
+func subsampleCounts(name string, nVal int) []int {
+	paper := map[string][]int{
+		"cifar10":       {1, 3, 9, 27, 100},
+		"femnist":       {1, 3, 9, 27, 81, 360},
+		"stackoverflow": {1, 9, 81, 729, 3678},
+		"reddit":        {1, 9, 81, 729, 10000},
+	}
+	full := map[string]int{"cifar10": 100, "femnist": 360, "stackoverflow": 3678, "reddit": 10000}
+	counts, ok := paper[name]
+	if !ok {
+		counts = []int{1, 3, 9, nVal}
+	}
+	scale := float64(nVal) / float64(full[name])
+	var out []int
+	seen := map[int]bool{}
+	for _, c := range counts {
+		v := int(math.Round(float64(c) * scale))
+		if v < 1 {
+			v = 1
+		}
+		if v > nVal {
+			v = nVal
+		}
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	if !seen[nVal] {
+		out = append(out, nVal)
+	}
+	return out
+}
+
+// rsTuner builds the paper's RS tuner for the config.
+func (c Config) rsTuner() core.Tuner {
+	return core.Tuner{Method: hpo.RandomSearch{}, Space: hpo.DefaultSpace(), Settings: c.Settings()}
+}
+
+// runRSOnBank runs bootstrap RS trials against a bank under the noise
+// setting and returns per-trial final true errors.
+func (s *Suite) runRSOnBank(name string, noise core.Noise, trials int, seedLabel string) []float64 {
+	bank := s.Bank(name)
+	oracle, err := core.NewBankOracle(bank, noise.HeterogeneityP, noise.Scheme(), s.Cfg.Seed)
+	if err != nil {
+		panic(fmt.Sprintf("exper: %s: %v", name, err))
+	}
+	tn := s.Cfg.rsTuner()
+	tn.Settings = noise.Settings(tn.Settings)
+	results := tn.RunTrials(oracle, trials, rng.New(s.Cfg.Seed).Split(seedLabel))
+	return core.FinalErrors(results)
+}
+
+// bestPoolError returns the lowest full-validation error over the pool at
+// max fidelity ("Best HPs" reference line in Figure 3).
+func bestPoolError(b *core.Bank, weighted bool) float64 {
+	best := math.Inf(1)
+	for ci := range b.Configs {
+		errs, err := b.ClientErrors(0, ci, b.MaxRounds())
+		if err != nil {
+			panic(err)
+		}
+		e := weightedMean(errs, b.ExampleCounts[0], weighted)
+		if e < best {
+			best = e
+		}
+	}
+	return best
+}
+
+func weightedMean(errs []float64, counts []int, weighted bool) float64 {
+	num, den := 0.0, 0.0
+	for i, e := range errs {
+		w := 1.0
+		if weighted {
+			w = float64(counts[i])
+		}
+		num += w * e
+		den += w
+	}
+	return num / den
+}
+
+// pct formats an error as percent.
+func pct(x float64) string { return fmt.Sprintf("%.2f", 100*x) }
+
+// renderSeriesTable builds the numeric table under a chart.
+func renderSeriesTable(title string, xName string, series []plot.Series) ([]string, []string, [][]string) {
+	cols := []string{xName, "series", "median_err_pct", "q1_pct", "q3_pct"}
+	var rows [][]string
+	for _, ser := range series {
+		for i := range ser.X {
+			lo, hi := ser.Y[i], ser.Y[i]
+			if ser.YLo != nil {
+				lo, hi = ser.YLo[i], ser.YHi[i]
+			}
+			xCell := fmt.Sprintf("%g", ser.X[i])
+			if ser.XTickLabel != nil {
+				xCell = ser.XTickLabel[i]
+			}
+			rows = append(rows, []string{xCell, ser.Label, plot.F(ser.Y[i] * 100), plot.F(lo * 100), plot.F(hi * 100)})
+		}
+	}
+	tbl := plot.Table{Title: title, Columns: cols, Rows: rows}
+	return tbl.Render(), cols, rows
+}

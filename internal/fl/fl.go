@@ -1,0 +1,317 @@
+// Package fl implements the cross-device federated training loop of the
+// study (Algorithm 2 in the paper's Appendix D): at every round the server
+// samples a small client cohort uniformly without replacement, each client
+// runs local SGD from the server weights (ClientOPT), and the server applies
+// FedAdam (Reddi et al., 2020) to the aggregated pseudo-gradient (ServerOPT).
+//
+// The hyperparameters tuned by the study enter here: three server FedAdam
+// HPs (learning rate, β1, β2, plus the fixed decay γ=0.9999) and client SGD
+// HPs (learning rate, momentum, weight decay, batch size, epochs).
+package fl
+
+import (
+	"fmt"
+	"math"
+
+	"noisyeval/internal/data"
+	"noisyeval/internal/nn"
+	"noisyeval/internal/opt"
+	"noisyeval/internal/rng"
+	"noisyeval/internal/tensor"
+)
+
+// HParams is one hyperparameter configuration θ, shared by all clients
+// (the study tunes global HPs only; §2.1). Fields follow Appendix B.
+type HParams struct {
+	// Server FedAdam.
+	ServerLR float64 // log10 lr ~ Unif[-6, -1]
+	Beta1    float64 // Unif[0, 0.9]
+	Beta2    float64 // Unif[0, 0.999]
+	LRDecay  float64 // fixed 0.9999
+
+	// Client SGD.
+	ClientLR       float64 // log10 lr ~ Unif[-6, 0]
+	ClientMomentum float64 // Unif[0, 0.9]
+	WeightDecay    float64 // fixed 5e-5
+	BatchSize      int     // {32, 64, 128}
+	Epochs         int     // fixed 1
+}
+
+// DefaultFixed fills the paper's fixed HPs (γ, weight decay, epochs) into a
+// copy of h, leaving tuned fields untouched.
+func (h HParams) DefaultFixed() HParams {
+	if h.LRDecay == 0 {
+		h.LRDecay = 0.9999
+	}
+	if h.WeightDecay == 0 {
+		h.WeightDecay = 5e-5
+	}
+	if h.Epochs == 0 {
+		h.Epochs = 1
+	}
+	if h.BatchSize == 0 {
+		h.BatchSize = 32
+	}
+	return h
+}
+
+// Validate reports structurally invalid configurations.
+func (h HParams) Validate() error {
+	if h.ServerLR <= 0 || h.ClientLR <= 0 {
+		return fmt.Errorf("fl: learning rates must be positive (server %g, client %g)", h.ServerLR, h.ClientLR)
+	}
+	if h.Beta1 < 0 || h.Beta1 >= 1 || h.Beta2 < 0 || h.Beta2 >= 1 {
+		return fmt.Errorf("fl: betas (%g, %g) outside [0, 1)", h.Beta1, h.Beta2)
+	}
+	if h.ClientMomentum < 0 || h.ClientMomentum >= 1 {
+		return fmt.Errorf("fl: client momentum %g outside [0, 1)", h.ClientMomentum)
+	}
+	if h.BatchSize < 1 || h.Epochs < 1 {
+		return fmt.Errorf("fl: batch size %d / epochs %d must be >= 1", h.BatchSize, h.Epochs)
+	}
+	return nil
+}
+
+// Options configures a Trainer beyond the tuned HParams.
+type Options struct {
+	// ClientsPerRound is the training cohort size (paper: 10).
+	ClientsPerRound int
+	// WeightedAggregation selects example-count weights p_tr,k (true) or
+	// uniform weights (false) when averaging client updates; the paper
+	// matches the training scheme to the evaluation scheme (footnote 1).
+	WeightedAggregation bool
+	// ClipNorm, when > 0, clips each client's local gradient norm. The
+	// paper trains without clipping, so aggressive configurations genuinely
+	// diverge and collapse to degenerate predictors (the lower-right points
+	// of Figure 7); 0 (the default) preserves that behaviour.
+	ClipNorm float64
+}
+
+// DefaultOptions returns the paper's settings.
+func DefaultOptions() Options {
+	return Options{ClientsPerRound: 10, WeightedAggregation: true}
+}
+
+// Trainer runs federated training of one configuration on one population.
+// It is not safe for concurrent use; run one Trainer per goroutine.
+type Trainer struct {
+	Pop  *data.Population
+	HP   HParams
+	Opts Options
+
+	model     *nn.Network
+	serverOpt *opt.Adam
+	weights   tensor.Vec // current server weights w
+	scratchW  tensor.Vec // client-local weights
+	scratchG  tensor.Vec // client-local gradient
+	delta     tensor.Vec // aggregated pseudo-gradient
+	sumW      tensor.Vec // weighted sum of client weights
+	round     int
+	diverged  bool
+	rng       *rng.RNG
+}
+
+// NewTrainer initialises a trainer with model weights drawn from g's
+// "init" split and training randomness from its "train" split, so the same
+// (population, hp, seed) triple reproduces a run exactly.
+func NewTrainer(pop *data.Population, hp HParams, opts Options, g *rng.RNG) (*Trainer, error) {
+	hp = hp.DefaultFixed()
+	if err := hp.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.ClientsPerRound <= 0 {
+		return nil, fmt.Errorf("fl: ClientsPerRound must be positive, got %d", opts.ClientsPerRound)
+	}
+	if len(pop.Train) == 0 {
+		return nil, fmt.Errorf("fl: population has no training clients")
+	}
+	model := pop.NewModel(g.Split("init"))
+	dim := model.NumWeights()
+	t := &Trainer{
+		Pop: pop, HP: hp, Opts: opts,
+		model:     model,
+		serverOpt: opt.NewAdam(dim, hp.ServerLR, hp.Beta1, hp.Beta2, 1e-8, hp.LRDecay),
+		weights:   tensor.NewVec(dim),
+		scratchW:  tensor.NewVec(dim),
+		scratchG:  tensor.NewVec(dim),
+		delta:     tensor.NewVec(dim),
+		sumW:      tensor.NewVec(dim),
+		rng:       g.Split("train"),
+	}
+	model.FlattenParams(t.weights)
+	return t, nil
+}
+
+// Round executes one federated round: sample the cohort, train locally on
+// each client, aggregate the weighted pseudo-gradient Δ = w − Σp_k w_k/Σp_k,
+// and apply the FedAdam server update. After divergence (NaN weights) the
+// trainer freezes; further rounds are no-ops.
+func (t *Trainer) Round() {
+	if t.diverged {
+		t.round++
+		return
+	}
+	cohortSize := t.Opts.ClientsPerRound
+	if cohortSize > len(t.Pop.Train) {
+		cohortSize = len(t.Pop.Train)
+	}
+	cohort := t.rng.Splitf("round-%d", t.round).SampleWithoutReplacement(len(t.Pop.Train), cohortSize)
+
+	t.sumW.Zero()
+	totalWeight := 0.0
+	for _, idx := range cohort {
+		client := t.Pop.Train[idx]
+		if len(client.Examples) == 0 {
+			continue
+		}
+		t.localTrain(client)
+		weight := 1.0
+		if t.Opts.WeightedAggregation {
+			weight = float64(len(client.Examples))
+		}
+		t.sumW.Axpy(weight, t.scratchW)
+		totalWeight += weight
+	}
+	if totalWeight == 0 {
+		t.round++
+		return
+	}
+	// Δ = w - (Σ p_k w_k) / Σ p_k; server Adam descends along Δ.
+	copy(t.delta, t.weights)
+	t.delta.Axpy(-1/totalWeight, t.sumW)
+	t.serverOpt.Step(t.weights, t.delta)
+	t.round++
+
+	if t.weights.HasNaN() {
+		t.diverged = true
+	}
+}
+
+// localTrain runs the client's local solve (ClientOPT): Epochs passes of
+// minibatch SGD with momentum and weight decay starting from the server
+// weights. The result is left in t.scratchW.
+func (t *Trainer) localTrain(client *data.Client) {
+	copy(t.scratchW, t.weights)
+	t.model.SetParams(t.scratchW)
+	sgd := opt.NewSGD(len(t.scratchW), t.HP.ClientLR, t.HP.ClientMomentum, t.HP.WeightDecay)
+	sgd.ClipNorm = t.Opts.ClipNorm
+
+	n := len(client.Examples)
+	order := t.rng.Splitf("client-%d-round-%d", client.ID, t.round).Perm(n)
+	b := t.HP.BatchSize
+	for epoch := 0; epoch < t.HP.Epochs; epoch++ {
+		for start := 0; start < n; start += b {
+			end := start + b
+			if end > n {
+				end = n
+			}
+			t.model.ZeroGrad()
+			for _, i := range order[start:end] {
+				ex := client.Examples[i]
+				t.model.LossAndBackward(ex.Input(), ex.Label)
+			}
+			t.model.FlattenGrads(t.scratchG)
+			t.scratchG.Scale(1 / float64(end-start))
+			t.model.FlattenParams(t.scratchW)
+			sgd.Step(t.scratchW, t.scratchG)
+			t.model.SetParams(t.scratchW)
+		}
+	}
+	t.model.FlattenParams(t.scratchW)
+}
+
+// TrainTo advances training to the given round (no-op if already there).
+func (t *Trainer) TrainTo(round int) {
+	for t.round < round {
+		t.Round()
+	}
+}
+
+// Round number completed so far.
+func (t *Trainer) RoundNum() int { return t.round }
+
+// Diverged reports whether training hit NaN weights. Such models collapse
+// to a degenerate constant predictor (argmax over NaN logits resolves to
+// class 0), which is globally terrible yet near-perfect on clients whose
+// skewed local data is dominated by that class — the mechanism behind the
+// catastrophic systems-heterogeneity results (Figures 6–7 of the paper).
+func (t *Trainer) Diverged() bool { return t.diverged }
+
+// Weights returns a copy of the current server weights.
+func (t *Trainer) Weights() tensor.Vec { return t.weights.Clone() }
+
+// EvalClient returns the current model's error rate on one client's data
+// (F_val,k in Eq. 2). A diverged model predicts class 0 on every example.
+func (t *Trainer) EvalClient(client *data.Client) float64 {
+	if len(client.Examples) == 0 {
+		return 0
+	}
+	if t.diverged {
+		wrong := 0
+		for _, ex := range client.Examples {
+			if ex.Label != 0 {
+				wrong++
+			}
+		}
+		return float64(wrong) / float64(len(client.Examples))
+	}
+	t.model.SetParams(t.weights)
+	wrong := 0
+	for _, ex := range client.Examples {
+		if t.model.Predict(ex.Input()) != ex.Label {
+			wrong++
+		}
+	}
+	return float64(wrong) / float64(len(client.Examples))
+}
+
+// EvalClients returns the per-client error vector over a client pool. This
+// vector is the raw material for every noisy-evaluation model in the study
+// (subsampling, reweighting, biased selection, DP perturbation).
+func (t *Trainer) EvalClients(clients []*data.Client) []float64 {
+	errs := make([]float64, len(clients))
+	for i, c := range clients {
+		errs[i] = t.EvalClient(c)
+	}
+	return errs
+}
+
+// FullValidationError evaluates Eq. 2 over the whole validation pool with
+// the given weighting scheme — the paper's "full validation error" used for
+// reporting final tuning quality.
+func (t *Trainer) FullValidationError(weighted bool) float64 {
+	errs := t.EvalClients(t.Pop.Val)
+	w := data.ClientWeights(t.Pop.Val, weighted)
+	return WeightedError(errs, w, nil)
+}
+
+// WeightedError computes Eq. 2 over a subset of clients: the weighted sum of
+// client errors divided by the total weight. A nil subset means all clients.
+// It panics if the subset is empty or the total weight is zero.
+func WeightedError(errs, weights []float64, subset []int) float64 {
+	if len(errs) != len(weights) {
+		panic(fmt.Sprintf("fl: WeightedError lengths differ: %d vs %d", len(errs), len(weights)))
+	}
+	if subset == nil {
+		subset = make([]int, len(errs))
+		for i := range subset {
+			subset[i] = i
+		}
+	}
+	if len(subset) == 0 {
+		panic("fl: WeightedError over empty subset")
+	}
+	num, den := 0.0, 0.0
+	for _, k := range subset {
+		num += weights[k] * errs[k]
+		den += weights[k]
+	}
+	if den == 0 {
+		panic("fl: WeightedError zero total weight")
+	}
+	v := num / den
+	if math.IsNaN(v) {
+		panic("fl: WeightedError produced NaN")
+	}
+	return v
+}

@@ -1,0 +1,80 @@
+package fl
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"noisyeval/internal/rng"
+)
+
+// Property: the weighted error always lies within [min, max] of the
+// per-client errors over the chosen subset.
+func TestWeightedErrorBoundedProperty(t *testing.T) {
+	g := rng.New(100)
+	f := func(seed uint8) bool {
+		n := int(seed%20) + 1
+		errs := make([]float64, n)
+		weights := make([]float64, n)
+		for i := range errs {
+			errs[i] = g.Float64()
+			weights[i] = 1 + g.Float64()*10
+		}
+		k := g.IntN(n) + 1
+		subset := g.SampleWithoutReplacement(n, k)
+		v := WeightedError(errs, weights, subset)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, idx := range subset {
+			lo = math.Min(lo, errs[idx])
+			hi = math.Max(hi, errs[idx])
+		}
+		return v >= lo-1e-12 && v <= hi+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: scaling all weights by a positive constant leaves the weighted
+// error unchanged (Eq. 2 is scale-invariant in p_val).
+func TestWeightedErrorScaleInvariantProperty(t *testing.T) {
+	g := rng.New(101)
+	f := func(seed uint8, rawScale uint8) bool {
+		n := int(seed%10) + 1
+		scale := 0.5 + float64(rawScale%50)
+		errs := make([]float64, n)
+		w1 := make([]float64, n)
+		w2 := make([]float64, n)
+		for i := range errs {
+			errs[i] = g.Float64()
+			w1[i] = 1 + g.Float64()
+			w2[i] = w1[i] * scale
+		}
+		a := WeightedError(errs, w1, nil)
+		b := WeightedError(errs, w2, nil)
+		return math.Abs(a-b) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: uniform weights reduce the weighted error to the plain mean.
+func TestWeightedErrorUniformIsMeanProperty(t *testing.T) {
+	g := rng.New(102)
+	f := func(seed uint8) bool {
+		n := int(seed%15) + 1
+		errs := make([]float64, n)
+		w := make([]float64, n)
+		sum := 0.0
+		for i := range errs {
+			errs[i] = g.Float64()
+			w[i] = 1
+			sum += errs[i]
+		}
+		return math.Abs(WeightedError(errs, w, nil)-sum/float64(n)) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,87 @@
+package hpo
+
+import (
+	"sort"
+
+	"noisyeval/internal/fl"
+	"noisyeval/internal/rng"
+)
+
+// BOHB (Falkner et al., 2018) replaces Hyperband's random config sampling
+// with TPE proposals fit on the observations gathered so far, using the
+// largest fidelity that has enough points; a fixed fraction of proposals
+// stays random to preserve Hyperband's theoretical guarantees. The study
+// finds BOHB is the strongest method under noiseless evaluation and among
+// the weakest under noisy evaluation (Observation 6): its model is fit on
+// exactly the noisy low-fidelity scores that subsampling and DP corrupt.
+type BOHB struct {
+	// RandomFraction of proposals bypass the model (default 1/3).
+	RandomFraction float64
+	// MinPoints is the number of observations a fidelity needs before the
+	// model is used (default 6 = tuned dims + 1).
+	MinPoints int
+	// TPE configures the underlying proposal model.
+	TPE TPE
+}
+
+// Name implements Method.
+func (BOHB) Name() string { return "BOHB" }
+
+// Run implements Method.
+func (b BOHB) Run(o Oracle, space Space, s Settings, g *rng.RNG) *History {
+	s = s.Normalize()
+	if b.RandomFraction <= 0 || b.RandomFraction >= 1 {
+		b.RandomFraction = 1.0 / 3
+	}
+	if b.MinPoints < 2 {
+		b.MinPoints = 6
+	}
+	h := &History{MethodName: "BOHB"}
+	state := &bohbState{cfg: b, tpe: b.TPE.normalize(), byFidelity: map[int][]scoredConfig{}}
+	runHyperbandLoop(o, space, s, g, h, state)
+	return h
+}
+
+// bohbState accumulates rung observations per fidelity and proposes configs.
+type bohbState struct {
+	cfg        BOHB
+	tpe        TPE
+	byFidelity map[int][]scoredConfig
+}
+
+// observe records a rung's noisy scores (SHA callback).
+func (st *bohbState) observe(fidelity int, cfgs []fl.HParams, noisy []float64) {
+	for i, c := range cfgs {
+		st.byFidelity[fidelity] = append(st.byFidelity[fidelity], scoredConfig{cfg: c, err: noisy[i]})
+	}
+}
+
+// propose returns the next candidate: random with probability
+// RandomFraction or when no fidelity has enough observations, otherwise a
+// TPE proposal fit on the highest adequately-observed fidelity.
+func (st *bohbState) propose(o Oracle, space Space, g *rng.RNG) fl.HParams {
+	if g.Bool(st.cfg.RandomFraction) {
+		return sampleConfig(o, space, g.Split("random"))
+	}
+	obs := st.modelObservations()
+	if len(obs) < st.cfg.MinPoints {
+		return sampleConfig(o, space, g.Split("fallback"))
+	}
+	return st.tpe.propose(obs, o, space, g.Split("tpe"))
+}
+
+// modelObservations returns the observations at the largest fidelity with at
+// least MinPoints of them (BOHB's model-selection rule).
+func (st *bohbState) modelObservations() []scoredConfig {
+	fidelities := make([]int, 0, len(st.byFidelity))
+	for f := range st.byFidelity {
+		fidelities = append(fidelities, f)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(fidelities)))
+	for _, f := range fidelities {
+		if len(st.byFidelity[f]) >= st.cfg.MinPoints {
+			return st.byFidelity[f]
+		}
+	}
+	return nil
+}

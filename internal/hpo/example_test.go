@@ -1,0 +1,39 @@
+package hpo_test
+
+import (
+	"fmt"
+
+	"noisyeval/internal/hpo"
+	"noisyeval/internal/rng"
+)
+
+// ExampleSpace_Sample draws a configuration from the paper's Appendix-B
+// search space.
+func ExampleSpace_Sample() {
+	space := hpo.DefaultSpace()
+	cfg := space.Sample(rng.New(7))
+	fmt.Println(space.Contains(cfg))
+	fmt.Println(cfg.BatchSize == 32 || cfg.BatchSize == 64 || cfg.BatchSize == 128)
+	// Output:
+	// true
+	// true
+}
+
+// ExampleRungRounds shows the paper's SHA fidelity ladder.
+func ExampleRungRounds() {
+	fmt.Println(hpo.RungRounds(405, 3, 5))
+	// Output:
+	// [5 15 45 135 405]
+}
+
+// ExampleHistory_RecommendAt demonstrates budget-indexed recommendations.
+func ExampleHistory_RecommendAt() {
+	h := &hpo.History{}
+	h.Add(hpo.Observation{Rounds: 405, Observed: 0.40, True: 0.41, CumRounds: 405})
+	h.Add(hpo.Observation{Rounds: 405, Observed: 0.35, True: 0.37, CumRounds: 810})
+	early, _ := h.RecommendAt(405)
+	late, _ := h.RecommendAt(810)
+	fmt.Printf("%.2f %.2f\n", early.Observed, late.Observed)
+	// Output:
+	// 0.40 0.35
+}

@@ -1,0 +1,59 @@
+package hpo
+
+import (
+	"fmt"
+
+	"noisyeval/internal/dp"
+	"noisyeval/internal/rng"
+)
+
+// ResampledRS is random search with re-evaluation averaging, the "simple
+// trick" noise mitigation the paper discusses in §5 (Hertel et al., 2020):
+// every configuration is evaluated Reps times on independent client cohorts
+// and selected by the mean observed error. Averaging shrinks subsampling
+// variance by 1/√Reps at the cost of Reps× more evaluation rounds — and
+// under DP the extra releases proportionally inflate the per-release noise,
+// which is why resampling "varies in effectiveness" (§5).
+type ResampledRS struct {
+	// Reps is the number of independent evaluations per configuration
+	// (default 3).
+	Reps int
+}
+
+// Name implements Method.
+func (ResampledRS) Name() string { return "RS+reeval" }
+
+// Run implements Method.
+func (m ResampledRS) Run(o Oracle, space Space, s Settings, g *rng.RNG) *History {
+	s = s.Normalize()
+	reps := m.Reps
+	if reps < 1 {
+		reps = 3
+	}
+	h := &History{MethodName: m.Name()}
+	maxR := perConfigRounds(o, s)
+	k := s.Budget.K
+	// DP: every one of the K*reps releases consumes budget.
+	dpp := dp.Params{Epsilon: s.Epsilon, TotalEvals: k * reps}
+	cum := 0
+	for i := 0; i < k; i++ {
+		if cum+maxR > s.Budget.TotalRounds {
+			break
+		}
+		cfg := sampleConfig(o, space, g.Splitf("cfg-%d", i))
+		cum += maxR
+		sum := 0.0
+		for rep := 0; rep < reps; rep++ {
+			obs := o.Evaluate(cfg, maxR, fmt.Sprintf("reeval-%d-%d", i, rep))
+			sum += dpp.Release(obs, o.SampleSize(), g.Splitf("dp-%d-%d", i, rep))
+		}
+		h.Add(Observation{
+			Config:    cfg,
+			Rounds:    maxR,
+			Observed:  sum / float64(reps),
+			True:      o.TrueError(cfg, maxR),
+			CumRounds: cum,
+		})
+	}
+	return h
+}

@@ -1,0 +1,113 @@
+package hpo
+
+import (
+	"fmt"
+
+	"noisyeval/internal/dp"
+	"noisyeval/internal/rng"
+)
+
+// RandomSearch is the classical baseline (Bergstra & Bengio, 2012;
+// Algorithms 1–2 of the paper): sample K configurations iid, train each for
+// the full per-config budget, evaluate once, and return the best by observed
+// error. Under DP, each of the K releases is perturbed with
+// Lap(K/(ε·|S|)) per basic composition.
+type RandomSearch struct{}
+
+// Name implements Method.
+func (RandomSearch) Name() string { return "RS" }
+
+// Run implements Method.
+func (RandomSearch) Run(o Oracle, space Space, s Settings, g *rng.RNG) *History {
+	s = s.Normalize()
+	h := &History{MethodName: "RS"}
+	maxR := perConfigRounds(o, s)
+	k := s.Budget.K
+	dpp := dp.Params{Epsilon: s.Epsilon, TotalEvals: k}
+	cum := 0
+	for i := 0; i < k; i++ {
+		if cum+maxR > s.Budget.TotalRounds {
+			break
+		}
+		cfg := sampleConfig(o, space, g.Splitf("cfg-%d", i))
+		cum += maxR
+		evalID := fmt.Sprintf("rs-eval-%d", i)
+		observed := o.Evaluate(cfg, maxR, evalID)
+		observed = dpp.Release(observed, o.SampleSize(), g.Splitf("dp-%d", i))
+		h.Add(Observation{
+			Config:    cfg,
+			Rounds:    maxR,
+			Observed:  observed,
+			True:      o.TrueError(cfg, maxR),
+			CumRounds: cum,
+		})
+	}
+	return h
+}
+
+// GridSearch is the other classical model-free baseline: it walks a fixed
+// grid over the space (or the candidate pool in bank mode) and evaluates
+// configurations at full fidelity until the budget runs out.
+type GridSearch struct {
+	// PointsPerDim controls grid resolution in continuous mode (default 2).
+	PointsPerDim int
+}
+
+// Name implements Method.
+func (GridSearch) Name() string { return "Grid" }
+
+// Run implements Method.
+func (gs GridSearch) Run(o Oracle, space Space, s Settings, g *rng.RNG) *History {
+	s = s.Normalize()
+	h := &History{MethodName: "Grid"}
+	maxR := perConfigRounds(o, s)
+
+	grid := o.Pool()
+	if len(grid) == 0 {
+		pts := gs.PointsPerDim
+		if pts < 1 {
+			pts = 2
+		}
+		grid = space.Grid(pts)
+	}
+	if len(grid) == 0 {
+		return h
+	}
+	k := s.Budget.K
+	dpp := dp.Params{Epsilon: s.Epsilon, TotalEvals: minInt(k, len(grid))}
+	cum := 0
+	for i := 0; i < len(grid) && i < k; i++ {
+		if cum+maxR > s.Budget.TotalRounds {
+			break
+		}
+		cfg := grid[i]
+		cum += maxR
+		evalID := fmt.Sprintf("grid-eval-%d", i)
+		observed := o.Evaluate(cfg, maxR, evalID)
+		observed = dpp.Release(observed, o.SampleSize(), g.Splitf("dp-%d", i))
+		h.Add(Observation{
+			Config:    cfg,
+			Rounds:    maxR,
+			Observed:  observed,
+			True:      o.TrueError(cfg, maxR),
+			CumRounds: cum,
+		})
+	}
+	return h
+}
+
+// perConfigRounds caps the per-config budget by the oracle's maximum.
+func perConfigRounds(o Oracle, s Settings) int {
+	maxR := s.Budget.MaxPerConfig
+	if om := o.MaxRounds(); om > 0 && om < maxR {
+		maxR = om
+	}
+	return maxR
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,332 @@
+package hpo
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"noisyeval/internal/dp"
+	"noisyeval/internal/fl"
+	"noisyeval/internal/rng"
+)
+
+// TPE is the tree-structured Parzen estimator (Bergstra et al., 2011), the
+// Bayesian-optimization representative in the study. It models p(θ|y) with
+// two densities — ℓ(θ) over the best γ-fraction of observations and g(θ)
+// over the rest — and proposes the candidate maximizing ℓ(θ)/g(θ), which is
+// equivalent to maximizing expected improvement under the TPE model.
+//
+// Like the paper's setup, each proposed configuration is trained for the
+// full per-config budget and evaluated once; the (noisy) observed errors are
+// what the densities are fit on — TPE has no mechanism to account for
+// evaluation noise, which is exactly the failure mode the study measures.
+type TPE struct {
+	// Gamma is the good/bad split quantile (default 0.25).
+	Gamma float64
+	// NStartup is the number of initial random configurations (default 4).
+	NStartup int
+	// NCandidates is the number of EI candidates scored per iteration
+	// (default 24).
+	NCandidates int
+}
+
+// Name implements Method.
+func (TPE) Name() string { return "TPE" }
+
+// Run implements Method.
+func (t TPE) Run(o Oracle, space Space, s Settings, g *rng.RNG) *History {
+	s = s.Normalize()
+	t = t.normalize()
+	h := &History{MethodName: "TPE"}
+	maxR := perConfigRounds(o, s)
+	k := s.Budget.K
+	dpp := dp.Params{Epsilon: s.Epsilon, TotalEvals: k}
+
+	var observed []scoredConfig
+	cum := 0
+	for i := 0; i < k; i++ {
+		if cum+maxR > s.Budget.TotalRounds {
+			break
+		}
+		var cfg fl.HParams
+		if i < t.NStartup || len(observed) < t.NStartup {
+			cfg = sampleConfig(o, space, g.Splitf("startup-%d", i))
+		} else {
+			cfg = t.propose(observed, o, space, g.Splitf("propose-%d", i))
+		}
+		cum += maxR
+		obs := o.Evaluate(cfg, maxR, fmt.Sprintf("tpe-eval-%d", i))
+		obs = dpp.Release(obs, o.SampleSize(), g.Splitf("dp-%d", i))
+		h.Add(Observation{
+			Config: cfg, Rounds: maxR, Observed: obs,
+			True: o.TrueError(cfg, maxR), CumRounds: cum,
+		})
+		observed = append(observed, scoredConfig{cfg: cfg, err: obs})
+	}
+	return h
+}
+
+func (t TPE) normalize() TPE {
+	if t.Gamma <= 0 || t.Gamma >= 1 {
+		t.Gamma = 0.25
+	}
+	if t.NStartup < 1 {
+		t.NStartup = 4
+	}
+	if t.NCandidates < 1 {
+		t.NCandidates = 24
+	}
+	return t
+}
+
+type scoredConfig struct {
+	cfg fl.HParams
+	err float64
+}
+
+// propose builds ℓ and g densities from the observations and returns the
+// candidate with the highest ℓ/g among NCandidates draws (from ℓ in
+// continuous mode, from the pool in bank mode).
+func (t TPE) propose(obs []scoredConfig, o Oracle, space Space, g *rng.RNG) fl.HParams {
+	sorted := append([]scoredConfig(nil), obs...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].err < sorted[j].err })
+	nGood := int(t.Gamma * float64(len(sorted)))
+	if nGood < 1 {
+		nGood = 1
+	}
+	good := newParzen(space, configsOf(sorted[:nGood]))
+	bad := newParzen(space, configsOf(sorted[nGood:]))
+
+	var candidates []fl.HParams
+	if pool := o.Pool(); len(pool) > 0 {
+		for i := 0; i < t.NCandidates; i++ {
+			candidates = append(candidates, pool[g.IntN(len(pool))])
+		}
+	} else {
+		for i := 0; i < t.NCandidates; i++ {
+			candidates = append(candidates, good.sample(g.Splitf("cand-%d", i)))
+		}
+	}
+	best := candidates[0]
+	bestScore := math.Inf(-1)
+	for _, c := range candidates {
+		score := good.logDensity(c) - bad.logDensity(c)
+		if score > bestScore {
+			bestScore = score
+			best = c
+		}
+	}
+	return best
+}
+
+func configsOf(sc []scoredConfig) []fl.HParams {
+	out := make([]fl.HParams, len(sc))
+	for i, s := range sc {
+		out[i] = s.cfg
+	}
+	return out
+}
+
+// parzen is the per-dimension kernel density model of one TPE side. The
+// five continuous dimensions (log server lr, β1, β2, log client lr,
+// momentum) use Gaussian kernels mixed with a uniform prior; batch size
+// uses a smoothed categorical.
+type parzen struct {
+	space Space
+	dims  [5]kde1d
+	batch catKDE
+}
+
+func newParzen(space Space, configs []fl.HParams) *parzen {
+	n := len(configs)
+	cols := make([][]float64, 5)
+	for d := range cols {
+		cols[d] = make([]float64, n)
+	}
+	batchCounts := make([]float64, len(space.BatchSizes))
+	for i, c := range configs {
+		v := configVec(c)
+		for d := 0; d < 5; d++ {
+			cols[d][i] = v[d]
+		}
+		batchCounts[batchIndex(space, c.BatchSize)]++
+	}
+	lo, hi := spaceBounds(space)
+	p := &parzen{space: space}
+	for d := 0; d < 5; d++ {
+		p.dims[d] = newKDE(cols[d], lo[d], hi[d])
+	}
+	p.batch = catKDE{counts: batchCounts}
+	return p
+}
+
+// configVec maps a configuration to the 5 continuous coordinates.
+func configVec(c fl.HParams) [5]float64 {
+	return [5]float64{
+		math.Log10(c.ServerLR),
+		c.Beta1,
+		c.Beta2,
+		math.Log10(c.ClientLR),
+		c.ClientMomentum,
+	}
+}
+
+func spaceBounds(s Space) (lo, hi [5]float64) {
+	lo = [5]float64{math.Log10(s.ServerLRMin), s.Beta1Min, s.Beta2Min, math.Log10(s.ClientLRMin), s.MomentumMin}
+	hi = [5]float64{math.Log10(s.ServerLRMax), s.Beta1Max, s.Beta2Max, math.Log10(s.ClientLRMax), s.MomentumMax}
+	return lo, hi
+}
+
+// batchIndex returns the index of the nearest batch size in the space.
+func batchIndex(s Space, b int) int {
+	best, bestDiff := 0, math.MaxInt
+	for i, v := range s.BatchSizes {
+		d := v - b
+		if d < 0 {
+			d = -d
+		}
+		if d < bestDiff {
+			best, bestDiff = i, d
+		}
+	}
+	return best
+}
+
+// logDensity returns the model's log density at the configuration.
+func (p *parzen) logDensity(c fl.HParams) float64 {
+	v := configVec(c)
+	sum := 0.0
+	for d := 0; d < 5; d++ {
+		sum += p.dims[d].logDensity(v[d])
+	}
+	sum += math.Log(p.batch.prob(batchIndex(p.space, c.BatchSize)))
+	return sum
+}
+
+// sample draws a configuration from the model (used to generate EI
+// candidates in continuous mode).
+func (p *parzen) sample(g *rng.RNG) fl.HParams {
+	var v [5]float64
+	for d := 0; d < 5; d++ {
+		v[d] = p.dims[d].sample(g.Splitf("dim-%d", d))
+	}
+	bs := p.space.BatchSizes[p.batch.sample(g.Split("batch"))]
+	return fl.HParams{
+		ServerLR:       math.Pow(10, v[0]),
+		Beta1:          v[1],
+		Beta2:          v[2],
+		LRDecay:        p.space.LRDecay,
+		ClientLR:       math.Pow(10, v[3]),
+		ClientMomentum: v[4],
+		WeightDecay:    p.space.WeightDecay,
+		BatchSize:      bs,
+		Epochs:         p.space.Epochs,
+	}
+}
+
+// kde1d is a 1-D Gaussian kernel density with a uniform prior component over
+// [lo, hi], following the Parzen construction of Bergstra et al. (2011).
+type kde1d struct {
+	lo, hi  float64
+	centers []float64
+	bw      float64
+}
+
+func newKDE(values []float64, lo, hi float64) kde1d {
+	k := kde1d{lo: lo, hi: hi, centers: values}
+	span := hi - lo
+	if span <= 0 {
+		span = 1
+	}
+	n := float64(len(values))
+	if n == 0 {
+		k.bw = span
+		return k
+	}
+	// Scott's rule with floors to keep densities proper on tiny samples.
+	sd := stddev(values)
+	bw := 1.06 * sd * math.Pow(n, -0.2)
+	if bw < span/50 {
+		bw = span / 50
+	}
+	if bw > span {
+		bw = span
+	}
+	k.bw = bw
+	return k
+}
+
+// logDensity mixes the uniform prior with the kernels:
+// p(x) = (prior + Σ_i N(x; c_i, bw)) / (n + 1).
+func (k kde1d) logDensity(x float64) float64 {
+	span := k.hi - k.lo
+	if span <= 0 {
+		span = 1
+	}
+	// The uniform prior is supported only on [lo, hi].
+	prior := 0.0
+	if x >= k.lo && x <= k.hi {
+		prior = 1 / span
+	}
+	sum := prior
+	for _, c := range k.centers {
+		z := (x - c) / k.bw
+		sum += math.Exp(-0.5*z*z) / (k.bw * math.Sqrt(2*math.Pi))
+	}
+	return math.Log(sum / float64(len(k.centers)+1))
+}
+
+// sample draws from the mixture and clamps to the range.
+func (k kde1d) sample(g *rng.RNG) float64 {
+	i := g.IntN(len(k.centers) + 1)
+	var x float64
+	if i == len(k.centers) {
+		x = g.Uniform(k.lo, k.hi) // prior component
+	} else {
+		x = g.Normal(k.centers[i], k.bw)
+	}
+	if x < k.lo {
+		x = k.lo
+	}
+	if x > k.hi {
+		x = k.hi
+	}
+	return x
+}
+
+// catKDE is a Laplace-smoothed categorical density.
+type catKDE struct {
+	counts []float64
+}
+
+func (c catKDE) prob(i int) float64 {
+	total := 0.0
+	for _, v := range c.counts {
+		total += v
+	}
+	return (c.counts[i] + 1) / (total + float64(len(c.counts)))
+}
+
+func (c catKDE) sample(g *rng.RNG) int {
+	w := make([]float64, len(c.counts))
+	for i := range w {
+		w[i] = c.counts[i] + 1
+	}
+	return g.Categorical(w)
+}
+
+func stddev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := 0.0
+	for _, x := range xs {
+		m += x
+	}
+	m /= float64(len(xs))
+	s := 0.0
+	for _, x := range xs {
+		s += (x - m) * (x - m)
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}

@@ -1,0 +1,298 @@
+package nn
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"noisyeval/internal/rng"
+	"noisyeval/internal/tensor"
+)
+
+func TestLinearForward(t *testing.T) {
+	l := NewLinear(2, 2, rng.New(1))
+	// Overwrite weights for a deterministic check.
+	copy(l.w.W, []float64{1, 2, 3, 4}) // W = [[1,2],[3,4]]
+	copy(l.b.W, []float64{10, 20})
+	out := l.Forward(tensor.Vec{1, 1})
+	if out[0] != 13 || out[1] != 27 {
+		t.Fatalf("Forward = %v, want [13 27]", out)
+	}
+}
+
+func TestReLU(t *testing.T) {
+	r := NewReLU(3)
+	out := r.Forward(tensor.Vec{-1, 0, 2})
+	if out[0] != 0 || out[1] != 0 || out[2] != 2 {
+		t.Fatalf("ReLU = %v", out)
+	}
+	gin := r.Backward(tensor.Vec{5, 5, 5})
+	if gin[0] != 0 || gin[1] != 0 || gin[2] != 5 {
+		t.Fatalf("ReLU backward = %v", gin)
+	}
+}
+
+func TestTanhBackward(t *testing.T) {
+	th := NewTanh(1)
+	th.Forward(tensor.Vec{0.5})
+	gin := th.Backward(tensor.Vec{1})
+	y := math.Tanh(0.5)
+	if math.Abs(gin[0]-(1-y*y)) > 1e-12 {
+		t.Fatalf("Tanh backward = %v", gin)
+	}
+}
+
+// numericalGrad estimates dLoss/dw for every weight by central differences.
+func numericalGrad(net *Network, in Input, label int) tensor.Vec {
+	const h = 1e-5
+	n := net.NumWeights()
+	w := tensor.NewVec(n)
+	net.FlattenParams(w)
+	grad := tensor.NewVec(n)
+	for i := 0; i < n; i++ {
+		orig := w[i]
+		w[i] = orig + h
+		net.SetParams(w)
+		lp := net.Loss(in, label)
+		w[i] = orig - h
+		net.SetParams(w)
+		lm := net.Loss(in, label)
+		w[i] = orig
+		grad[i] = (lp - lm) / (2 * h)
+	}
+	net.SetParams(w)
+	return grad
+}
+
+func TestMLPGradCheck(t *testing.T) {
+	net := NewMLP(3, 4, 2, rng.New(7))
+	in := Input{Features: tensor.Vec{0.3, -0.8, 1.2}}
+	label := 1
+	net.ZeroGrad()
+	net.LossAndBackward(in, label)
+	analytic := tensor.NewVec(net.NumWeights())
+	net.FlattenGrads(analytic)
+	numeric := numericalGrad(net, in, label)
+	for i := range analytic {
+		diff := math.Abs(analytic[i] - numeric[i])
+		scale := math.Max(1, math.Abs(numeric[i]))
+		if diff/scale > 1e-5 {
+			t.Fatalf("grad mismatch at weight %d: analytic %g vs numeric %g", i, analytic[i], numeric[i])
+		}
+	}
+}
+
+func TestTextNetGradCheck(t *testing.T) {
+	net := NewTextNet(6, 4, 5, rng.New(9))
+	in := Input{Tokens: []int{0, 3, 3, 5}}
+	label := 2
+	net.ZeroGrad()
+	net.LossAndBackward(in, label)
+	analytic := tensor.NewVec(net.NumWeights())
+	net.FlattenGrads(analytic)
+	numeric := numericalGrad(net, in, label)
+	for i := range analytic {
+		diff := math.Abs(analytic[i] - numeric[i])
+		scale := math.Max(1, math.Abs(numeric[i]))
+		if diff/scale > 1e-5 {
+			t.Fatalf("grad mismatch at weight %d: analytic %g vs numeric %g", i, analytic[i], numeric[i])
+		}
+	}
+}
+
+func TestLossMatchesLossAndBackward(t *testing.T) {
+	net := NewMLP(2, 3, 2, rng.New(3))
+	in := Input{Features: tensor.Vec{1, -1}}
+	l1 := net.Loss(in, 0)
+	net.ZeroGrad()
+	l2 := net.LossAndBackward(in, 0)
+	if math.Abs(l1-l2) > 1e-9 {
+		t.Fatalf("Loss %g != LossAndBackward %g", l1, l2)
+	}
+}
+
+func TestGradAccumulation(t *testing.T) {
+	// Two backward passes on the same example should double the gradient.
+	net := NewMLP(2, 3, 2, rng.New(4))
+	in := Input{Features: tensor.Vec{0.5, 0.7}}
+	net.ZeroGrad()
+	net.LossAndBackward(in, 1)
+	g1 := tensor.NewVec(net.NumWeights())
+	net.FlattenGrads(g1)
+	net.LossAndBackward(in, 1)
+	g2 := tensor.NewVec(net.NumWeights())
+	net.FlattenGrads(g2)
+	for i := range g1 {
+		if math.Abs(g2[i]-2*g1[i]) > 1e-9 {
+			t.Fatalf("gradient did not accumulate at %d: %g vs 2*%g", i, g2[i], g1[i])
+		}
+	}
+}
+
+func TestFlattenSetRoundTrip(t *testing.T) {
+	f := func(seed uint16) bool {
+		net := NewMLP(3, 5, 4, rng.New(uint64(seed)+1))
+		w := tensor.NewVec(net.NumWeights())
+		net.FlattenParams(w)
+		mod := w.Clone()
+		for i := range mod {
+			mod[i] += 0.125
+		}
+		net.SetParams(mod)
+		back := tensor.NewVec(net.NumWeights())
+		net.FlattenParams(back)
+		for i := range back {
+			if back[i] != mod[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReplicaDeterminism(t *testing.T) {
+	// Two networks built from the same split label must be weight-identical.
+	a := NewMLP(4, 8, 3, rng.New(11).Split("model"))
+	b := NewMLP(4, 8, 3, rng.New(11).Split("model"))
+	wa := tensor.NewVec(a.NumWeights())
+	wb := tensor.NewVec(b.NumWeights())
+	a.FlattenParams(wa)
+	b.FlattenParams(wb)
+	for i := range wa {
+		if wa[i] != wb[i] {
+			t.Fatal("same-seed replicas differ")
+		}
+	}
+}
+
+func TestPredictInRange(t *testing.T) {
+	net := NewMLP(2, 4, 3, rng.New(5))
+	for i := 0; i < 20; i++ {
+		p := net.Predict(Input{Features: tensor.Vec{float64(i), -float64(i)}})
+		if p < 0 || p >= 3 {
+			t.Fatalf("Predict = %d", p)
+		}
+	}
+}
+
+func TestTrainingReducesLossSingleExample(t *testing.T) {
+	// Plain gradient descent on one example must drive its loss down.
+	net := NewMLP(2, 8, 2, rng.New(6))
+	in := Input{Features: tensor.Vec{1, 2}}
+	label := 0
+	w := tensor.NewVec(net.NumWeights())
+	g := tensor.NewVec(net.NumWeights())
+	before := net.Loss(in, label)
+	for step := 0; step < 50; step++ {
+		net.ZeroGrad()
+		net.LossAndBackward(in, label)
+		net.FlattenParams(w)
+		net.FlattenGrads(g)
+		w.Axpy(-0.1, g)
+		net.SetParams(w)
+	}
+	after := net.Loss(in, label)
+	if after >= before {
+		t.Fatalf("loss did not decrease: %g -> %g", before, after)
+	}
+	if after > 0.1 {
+		t.Errorf("single-example loss should be near zero, got %g", after)
+	}
+}
+
+func TestTextNetTrainingReducesLoss(t *testing.T) {
+	net := NewTextNet(8, 6, 10, rng.New(12))
+	in := Input{Tokens: []int{1, 2, 3}}
+	label := 4
+	w := tensor.NewVec(net.NumWeights())
+	g := tensor.NewVec(net.NumWeights())
+	before := net.Loss(in, label)
+	for step := 0; step < 80; step++ {
+		net.ZeroGrad()
+		net.LossAndBackward(in, label)
+		net.FlattenParams(w)
+		net.FlattenGrads(g)
+		w.Axpy(-0.5, g)
+		net.SetParams(w)
+	}
+	if after := net.Loss(in, label); after >= before {
+		t.Fatalf("text loss did not decrease: %g -> %g", before, after)
+	}
+}
+
+func TestEmbeddingBagMeanPooling(t *testing.T) {
+	g := rng.New(13)
+	e := NewEmbeddingBag(4, 2, g)
+	copy(e.emb.W, []float64{1, 2, 3, 4, 5, 6, 7, 8}) // rows: [1,2],[3,4],[5,6],[7,8]
+	out := e.ForwardTokens([]int{0, 2})
+	if out[0] != 3 || out[1] != 4 {
+		t.Fatalf("mean pool = %v, want [3 4]", out)
+	}
+}
+
+func TestEmbeddingBagPanics(t *testing.T) {
+	e := NewEmbeddingBag(4, 2, rng.New(1))
+	for name, fn := range map[string]func(){
+		"empty":        func() { e.ForwardTokens(nil) },
+		"out-of-vocab": func() { e.ForwardTokens([]int{4}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestHasNaNDetectsDivergence(t *testing.T) {
+	net := NewMLP(2, 2, 2, rng.New(14))
+	if net.HasNaN() {
+		t.Fatal("fresh network reports NaN")
+	}
+	w := tensor.NewVec(net.NumWeights())
+	net.FlattenParams(w)
+	w[0] = math.NaN()
+	net.SetParams(w)
+	if !net.HasNaN() {
+		t.Fatal("NaN not detected")
+	}
+}
+
+func TestNumWeightsMatchesArchitecture(t *testing.T) {
+	net := NewMLP(10, 16, 4, rng.New(2))
+	want := 10*16 + 16 + 16*4 + 4
+	if net.NumWeights() != want {
+		t.Errorf("NumWeights = %d, want %d", net.NumWeights(), want)
+	}
+	text := NewTextNet(32, 8, 16, rng.New(2))
+	wantText := 32*8 + 8*16 + 16 + 16*32 + 32
+	if text.NumWeights() != wantText {
+		t.Errorf("text NumWeights = %d, want %d", text.NumWeights(), wantText)
+	}
+}
+
+func TestInputValidation(t *testing.T) {
+	net := NewMLP(2, 2, 2, rng.New(1))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for missing features")
+		}
+	}()
+	net.Logits(Input{})
+}
+
+func TestLabelValidation(t *testing.T) {
+	net := NewMLP(2, 2, 2, rng.New(1))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for bad label")
+		}
+	}()
+	net.LossAndBackward(Input{Features: tensor.Vec{1, 1}}, 5)
+}

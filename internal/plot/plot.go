@@ -1,0 +1,371 @@
+// Package plot renders experiment results as fixed-width text (line charts,
+// bar charts, scatter plots, tables) and CSV files. The benchmark harness
+// regenerates every figure of the paper as one of these renderings plus a
+// CSV with the underlying numbers.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Series is one labelled line of (x, y) points with an optional
+// interquartile band.
+type Series struct {
+	Label      string
+	X, Y       []float64
+	YLo, YHi   []float64 // optional quartile band (may be nil)
+	XTickLabel []string  // optional custom tick labels aligned with X
+}
+
+// Chart is a renderable line chart.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int // plot columns (default 60)
+	Height int // plot rows (default 16)
+	LogX   bool
+	Series []Series
+}
+
+var markers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Render draws the chart as text lines.
+func (c Chart) Render() []string {
+	w, h := c.Width, c.Height
+	if w <= 0 {
+		w = 60
+	}
+	if h <= 0 {
+		h = 16
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		for i := range s.X {
+			x := c.xval(s.X[i])
+			if x < xmin {
+				xmin = x
+			}
+			if x > xmax {
+				xmax = x
+			}
+			ys := []float64{s.Y[i]}
+			if s.YLo != nil {
+				ys = append(ys, s.YLo[i], s.YHi[i])
+			}
+			for _, y := range ys {
+				if y < ymin {
+					ymin = y
+				}
+				if y > ymax {
+					ymax = y
+				}
+			}
+		}
+	}
+	if math.IsInf(xmin, 1) {
+		return []string{c.Title + " (no data)"}
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	pad := (ymax - ymin) * 0.05
+	ymin, ymax = ymin-pad, ymax+pad
+
+	grid := make([][]byte, h)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", w))
+	}
+	for si, s := range c.Series {
+		m := markers[si%len(markers)]
+		for i := range s.X {
+			col := int(math.Round((c.xval(s.X[i]) - xmin) / (xmax - xmin) * float64(w-1)))
+			row := h - 1 - int(math.Round((s.Y[i]-ymin)/(ymax-ymin)*float64(h-1)))
+			if row >= 0 && row < h && col >= 0 && col < w {
+				grid[row][col] = m
+			}
+			// Connect to the next point with a sparse line.
+			if i+1 < len(s.X) {
+				col2 := int(math.Round((c.xval(s.X[i+1]) - xmin) / (xmax - xmin) * float64(w-1)))
+				row2 := h - 1 - int(math.Round((s.Y[i+1]-ymin)/(ymax-ymin)*float64(h-1)))
+				steps := maxInt(absInt(col2-col), absInt(row2-row))
+				for t := 1; t < steps; t++ {
+					cc := col + (col2-col)*t/steps
+					rr := row + (row2-row)*t/steps
+					if rr >= 0 && rr < h && cc >= 0 && cc < w && grid[rr][cc] == ' ' {
+						grid[rr][cc] = '.'
+					}
+				}
+			}
+		}
+	}
+
+	var out []string
+	if c.Title != "" {
+		out = append(out, c.Title)
+	}
+	for r, rowBytes := range grid {
+		label := "        "
+		if r == 0 {
+			label = fmt.Sprintf("%7.2f ", ymax)
+		} else if r == h-1 {
+			label = fmt.Sprintf("%7.2f ", ymin)
+		} else if r == h/2 {
+			label = fmt.Sprintf("%7.2f ", (ymin+ymax)/2)
+		}
+		out = append(out, label+"|"+string(rowBytes))
+	}
+	out = append(out, "        +"+strings.Repeat("-", w))
+	xl, xr := xmin, xmax
+	if c.LogX {
+		xl, xr = math.Pow(10, xmin), math.Pow(10, xmax)
+	}
+	axis := fmt.Sprintf("         %-12.4g%s%12.4g", xl, strings.Repeat(" ", maxInt(w-24, 1)), xr)
+	out = append(out, axis)
+	if c.XLabel != "" || c.YLabel != "" {
+		out = append(out, fmt.Sprintf("         x: %s   y: %s", c.XLabel, c.YLabel))
+	}
+	for si, s := range c.Series {
+		out = append(out, fmt.Sprintf("         %c %s", markers[si%len(markers)], s.Label))
+	}
+	return out
+}
+
+func (c Chart) xval(x float64) float64 {
+	if c.LogX {
+		if x <= 0 {
+			return math.Log10(1e-12)
+		}
+		return math.Log10(x)
+	}
+	return x
+}
+
+// Bar is one bar of a bar chart.
+type Bar struct {
+	Label string
+	Value float64
+	Tag   string // grouping annotation (e.g. "noisy")
+}
+
+// BarChart renders horizontal bars scaled to the maximum value.
+type BarChart struct {
+	Title string
+	Unit  string
+	Width int // bar columns (default 40)
+	Bars  []Bar
+}
+
+// Render draws the bar chart.
+func (b BarChart) Render() []string {
+	w := b.Width
+	if w <= 0 {
+		w = 40
+	}
+	maxVal := 0.0
+	labelW := 0
+	for _, bar := range b.Bars {
+		if bar.Value > maxVal {
+			maxVal = bar.Value
+		}
+		l := len(bar.Label)
+		if bar.Tag != "" {
+			l += len(bar.Tag) + 3
+		}
+		if l > labelW {
+			labelW = l
+		}
+	}
+	if maxVal == 0 {
+		maxVal = 1
+	}
+	var out []string
+	if b.Title != "" {
+		out = append(out, b.Title)
+	}
+	for _, bar := range b.Bars {
+		label := bar.Label
+		if bar.Tag != "" {
+			label = fmt.Sprintf("%s [%s]", bar.Label, bar.Tag)
+		}
+		n := int(math.Round(bar.Value / maxVal * float64(w)))
+		if n < 0 {
+			n = 0
+		}
+		out = append(out, fmt.Sprintf("  %-*s |%s %.2f%s", labelW, label, strings.Repeat("#", n), bar.Value, b.Unit))
+	}
+	return out
+}
+
+// ScatterPoint is one scatter sample.
+type ScatterPoint struct{ X, Y float64 }
+
+// Scatter renders a point cloud.
+type Scatter struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int
+	Height int
+	Points []ScatterPoint
+}
+
+// Render draws the scatter plot.
+func (s Scatter) Render() []string {
+	ch := Chart{
+		Title: s.Title, XLabel: s.XLabel, YLabel: s.YLabel,
+		Width: s.Width, Height: s.Height,
+	}
+	// Represent points as a single series without connecting lines by
+	// rendering each point as its own one-point series is wasteful; instead
+	// draw on the chart grid directly.
+	w, h := s.Width, s.Height
+	if w <= 0 {
+		w = 60
+	}
+	if h <= 0 {
+		h = 16
+	}
+	if len(s.Points) == 0 {
+		return []string{s.Title + " (no data)"}
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, p := range s.Points {
+		xmin, xmax = math.Min(xmin, p.X), math.Max(xmax, p.X)
+		ymin, ymax = math.Min(ymin, p.Y), math.Max(ymax, p.Y)
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	grid := make([][]byte, h)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", w))
+	}
+	for _, p := range s.Points {
+		col := int(math.Round((p.X - xmin) / (xmax - xmin) * float64(w-1)))
+		row := h - 1 - int(math.Round((p.Y-ymin)/(ymax-ymin)*float64(h-1)))
+		if row >= 0 && row < h && col >= 0 && col < w {
+			grid[row][col] = '*'
+		}
+	}
+	var out []string
+	if ch.Title != "" {
+		out = append(out, ch.Title)
+	}
+	for r, rowBytes := range grid {
+		label := "        "
+		if r == 0 {
+			label = fmt.Sprintf("%7.2f ", ymax)
+		} else if r == h-1 {
+			label = fmt.Sprintf("%7.2f ", ymin)
+		}
+		out = append(out, label+"|"+string(rowBytes))
+	}
+	out = append(out, "        +"+strings.Repeat("-", w))
+	out = append(out, fmt.Sprintf("         %-12.4g%s%12.4g", xmin, strings.Repeat(" ", maxInt(w-24, 1)), xmax))
+	out = append(out, fmt.Sprintf("         x: %s   y: %s", s.XLabel, s.YLabel))
+	return out
+}
+
+// Table renders aligned columns.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// Render draws the table.
+func (t Table) Render() []string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		var sb strings.Builder
+		for i, cell := range cells {
+			if i < len(widths) {
+				fmt.Fprintf(&sb, "%-*s  ", widths[i], cell)
+			} else {
+				sb.WriteString(cell + "  ")
+			}
+		}
+		return strings.TrimRight(sb.String(), " ")
+	}
+	var out []string
+	if t.Title != "" {
+		out = append(out, t.Title)
+	}
+	out = append(out, line(t.Columns))
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	out = append(out, line(sep))
+	for _, row := range t.Rows {
+		out = append(out, line(row))
+	}
+	return out
+}
+
+// WriteCSV writes header + rows to path, creating parent directories.
+func WriteCSV(path string, header []string, rows [][]string) error {
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("plot: %w", err)
+		}
+	}
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = `"` + strings.ReplaceAll(c, `"`, `""`) + `"`
+			}
+			sb.WriteString(c)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(header)
+	for _, r := range rows {
+		writeRow(r)
+	}
+	return os.WriteFile(path, []byte(sb.String()), 0o644)
+}
+
+// F formats a float for CSV/tables.
+func F(x float64) string { return fmt.Sprintf("%.4f", x) }
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func absInt(a int) int {
+	if a < 0 {
+		return -a
+	}
+	return a
+}

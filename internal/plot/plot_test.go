@@ -1,0 +1,169 @@
+package plot
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestChartRender(t *testing.T) {
+	c := Chart{
+		Title:  "test chart",
+		XLabel: "x", YLabel: "y",
+		Series: []Series{
+			{Label: "a", X: []float64{1, 2, 3}, Y: []float64{0.1, 0.2, 0.3}},
+			{Label: "b", X: []float64{1, 2, 3}, Y: []float64{0.3, 0.2, 0.1}},
+		},
+	}
+	lines := c.Render()
+	if len(lines) < 10 {
+		t.Fatalf("chart too short: %d lines", len(lines))
+	}
+	joined := strings.Join(lines, "\n")
+	for _, want := range []string{"test chart", "a", "b", "*", "o"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("rendering missing %q", want)
+		}
+	}
+}
+
+func TestChartLogX(t *testing.T) {
+	c := Chart{
+		LogX:   true,
+		Series: []Series{{Label: "s", X: []float64{1, 10, 100}, Y: []float64{1, 2, 3}}},
+	}
+	lines := c.Render()
+	if len(lines) == 0 {
+		t.Fatal("no output")
+	}
+	// Axis labels must show the original (non-log) values.
+	joined := strings.Join(lines, "\n")
+	if !strings.Contains(joined, "100") {
+		t.Error("log-x axis label missing")
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	lines := Chart{Title: "empty"}.Render()
+	if len(lines) != 1 || !strings.Contains(lines[0], "no data") {
+		t.Errorf("empty chart = %v", lines)
+	}
+}
+
+func TestChartConstantY(t *testing.T) {
+	c := Chart{Series: []Series{{Label: "flat", X: []float64{0, 1}, Y: []float64{5, 5}}}}
+	if len(c.Render()) == 0 {
+		t.Fatal("constant-y chart failed to render")
+	}
+}
+
+func TestChartQuartileBandExpandsRange(t *testing.T) {
+	c := Chart{Series: []Series{{
+		Label: "med", X: []float64{0, 1}, Y: []float64{0.5, 0.5},
+		YLo: []float64{0.1, 0.1}, YHi: []float64{0.9, 0.9},
+	}}}
+	joined := strings.Join(c.Render(), "\n")
+	if !strings.Contains(joined, "0.9") {
+		t.Error("band's upper quartile not reflected in the axis")
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	b := BarChart{
+		Title: "bars", Unit: "%",
+		Bars: []Bar{
+			{Label: "RS", Value: 40, Tag: "noisy"},
+			{Label: "HB", Value: 80},
+		},
+	}
+	lines := b.Render()
+	joined := strings.Join(lines, "\n")
+	for _, want := range []string{"bars", "RS [noisy]", "HB", "80.00%", "40.00%"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("bar chart missing %q in:\n%s", want, joined)
+		}
+	}
+	// Larger value must have a longer bar.
+	var rsHashes, hbHashes int
+	for _, l := range lines {
+		if strings.Contains(l, "RS") {
+			rsHashes = strings.Count(l, "#")
+		}
+		if strings.Contains(l, "HB") {
+			hbHashes = strings.Count(l, "#")
+		}
+	}
+	if hbHashes <= rsHashes {
+		t.Errorf("bar lengths: RS=%d HB=%d", rsHashes, hbHashes)
+	}
+}
+
+func TestBarChartZeroValues(t *testing.T) {
+	b := BarChart{Bars: []Bar{{Label: "z", Value: 0}}}
+	if len(b.Render()) == 0 {
+		t.Fatal("zero-value bars failed")
+	}
+}
+
+func TestScatterRender(t *testing.T) {
+	s := Scatter{
+		Title: "sc", XLabel: "fx", YLabel: "fy",
+		Points: []ScatterPoint{{X: 1, Y: 2}, {X: 3, Y: 4}},
+	}
+	joined := strings.Join(s.Render(), "\n")
+	for _, want := range []string{"sc", "*", "fx", "fy"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("scatter missing %q", want)
+		}
+	}
+	if empty := (Scatter{Title: "e"}).Render(); !strings.Contains(empty[0], "no data") {
+		t.Error("empty scatter")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tbl := Table{
+		Title:   "tbl",
+		Columns: []string{"name", "value"},
+		Rows:    [][]string{{"alpha", "1"}, {"b", "22"}},
+	}
+	lines := tbl.Render()
+	if len(lines) != 5 {
+		t.Fatalf("table lines = %d", len(lines))
+	}
+	if !strings.Contains(lines[1], "name") || !strings.Contains(lines[1], "value") {
+		t.Error("header missing")
+	}
+	if !strings.HasPrefix(lines[3], "alpha") {
+		t.Errorf("row = %q", lines[3])
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sub", "out.csv")
+	err := WriteCSV(path, []string{"a", "b"}, [][]string{{"1", "x,y"}, {"2", `say "hi"`}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := string(raw)
+	if !strings.Contains(got, `"x,y"`) {
+		t.Errorf("comma not quoted: %q", got)
+	}
+	if !strings.Contains(got, `"say ""hi"""`) {
+		t.Errorf("quote not escaped: %q", got)
+	}
+	if !strings.HasPrefix(got, "a,b\n") {
+		t.Errorf("header = %q", got)
+	}
+}
+
+func TestF(t *testing.T) {
+	if F(0.12345) != "0.1234" && F(0.12345) != "0.1235" {
+		t.Errorf("F = %q", F(0.12345))
+	}
+}

@@ -1,0 +1,345 @@
+// Package rng provides a deterministic, splittable random number generator
+// and the probability distributions used throughout the noisy-evaluation
+// study: uniform, log-uniform, normal, Laplace, Dirichlet, Zipf, categorical,
+// and sampling with/without replacement.
+//
+// Every stochastic component in this repository takes an explicit *RNG.
+// Experiments derive independent streams with Split so that results are
+// reproducible bit-for-bit regardless of goroutine scheduling.
+package rng
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand/v2"
+)
+
+// RNG is a deterministic random number generator. It wraps a PCG source from
+// math/rand/v2 and supports deriving independent child streams via Split.
+// An RNG is not safe for concurrent use; Split off one stream per goroutine.
+type RNG struct {
+	src  *rand.PCG
+	r    *rand.Rand
+	seed uint64
+	path string
+}
+
+// New returns an RNG seeded with seed. The second PCG word is a fixed
+// golden-ratio constant so that nearby seeds still give decorrelated streams.
+func New(seed uint64) *RNG {
+	src := rand.NewPCG(seed, seed^0x9e3779b97f4a7c15)
+	return &RNG{src: src, r: rand.New(src), seed: seed, path: ""}
+}
+
+// Split derives an independent child stream labelled by label. The child's
+// seed is a hash of the parent seed, the parent's path, and the label, so the
+// same (seed, path) always yields the same stream and different labels yield
+// decorrelated streams. Split does not consume randomness from the parent.
+func (g *RNG) Split(label string) *RNG {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%016x/%s/%s", g.seed, g.path, label)
+	child := New(h.Sum64())
+	child.path = g.path + "/" + label
+	return child
+}
+
+// Splitf is Split with a formatted label.
+func (g *RNG) Splitf(format string, args ...any) *RNG {
+	return g.Split(fmt.Sprintf(format, args...))
+}
+
+// Seed returns the seed this stream was created with.
+func (g *RNG) Seed() uint64 { return g.seed }
+
+// Path returns the split-path of this stream ("" for a root stream).
+func (g *RNG) Path() string { return g.path }
+
+// Float64 returns a uniform sample in [0, 1).
+func (g *RNG) Float64() float64 { return g.r.Float64() }
+
+// IntN returns a uniform sample in [0, n). It panics if n <= 0.
+func (g *RNG) IntN(n int) int { return g.r.IntN(n) }
+
+// Uint64 returns a uniform 64-bit value.
+func (g *RNG) Uint64() uint64 { return g.r.Uint64() }
+
+// Uniform returns a uniform sample in [lo, hi).
+func (g *RNG) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*g.r.Float64()
+}
+
+// LogUniform returns exp of a uniform sample in [log(lo), log(hi)).
+// Both bounds must be positive.
+func (g *RNG) LogUniform(lo, hi float64) float64 {
+	if lo <= 0 || hi <= 0 {
+		panic(fmt.Sprintf("rng: LogUniform bounds must be positive, got [%g, %g]", lo, hi))
+	}
+	return math.Exp(g.Uniform(math.Log(lo), math.Log(hi)))
+}
+
+// Normal returns a sample from N(mean, stddev^2).
+func (g *RNG) Normal(mean, stddev float64) float64 {
+	return mean + stddev*g.r.NormFloat64()
+}
+
+// Laplace returns a sample from the Laplace distribution with the given mean
+// and scale b (density 1/(2b) exp(-|x-mean|/b)). Scale must be positive;
+// a scale of +Inf returns ±Inf (used to model a fully exhausted privacy
+// budget) and a scale of 0 returns mean exactly.
+func (g *RNG) Laplace(mean, scale float64) float64 {
+	if scale < 0 {
+		panic(fmt.Sprintf("rng: Laplace scale must be non-negative, got %g", scale))
+	}
+	if scale == 0 {
+		return mean
+	}
+	// Inverse CDF: u in (-1/2, 1/2), x = mean - b*sign(u)*ln(1-2|u|).
+	u := g.r.Float64() - 0.5
+	return mean - scale*sign(u)*math.Log1p(-2*math.Abs(u))
+}
+
+// Exponential returns a sample from Exp(rate) with the given rate λ > 0.
+func (g *RNG) Exponential(rate float64) float64 {
+	if rate <= 0 {
+		panic(fmt.Sprintf("rng: Exponential rate must be positive, got %g", rate))
+	}
+	return g.r.ExpFloat64() / rate
+}
+
+// Gamma returns a sample from Gamma(shape, 1) using Marsaglia-Tsang for
+// shape >= 1 and the boost for shape < 1.
+func (g *RNG) Gamma(shape float64) float64 {
+	if shape <= 0 {
+		panic(fmt.Sprintf("rng: Gamma shape must be positive, got %g", shape))
+	}
+	if shape < 1 {
+		// Gamma(a) = Gamma(a+1) * U^(1/a).
+		return g.Gamma(shape+1) * math.Pow(g.r.Float64(), 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1.0 / math.Sqrt(9*d)
+	for {
+		x := g.r.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := g.r.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
+// Dirichlet fills out with a sample from Dirichlet(alpha, ..., alpha) of the
+// given dimension. Used to synthesize non-iid client label distributions
+// (Hsu et al., 2019) with alpha = 0.1 for the CIFAR10-like population.
+func (g *RNG) Dirichlet(alpha float64, dim int) []float64 {
+	if dim <= 0 {
+		panic(fmt.Sprintf("rng: Dirichlet dimension must be positive, got %d", dim))
+	}
+	out := make([]float64, dim)
+	sum := 0.0
+	for i := range out {
+		out[i] = g.Gamma(alpha)
+		sum += out[i]
+	}
+	if sum == 0 {
+		// Extremely small alpha can underflow every component; fall back to
+		// a one-hot draw, which is the alpha->0 limit of the Dirichlet.
+		out[g.IntN(dim)] = 1
+		return out
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// DirichletVec is Dirichlet with a per-component concentration vector.
+func (g *RNG) DirichletVec(alpha []float64) []float64 {
+	out := make([]float64, len(alpha))
+	sum := 0.0
+	for i, a := range alpha {
+		out[i] = g.Gamma(a)
+		sum += out[i]
+	}
+	if sum == 0 {
+		out[g.IntN(len(alpha))] = 1
+		return out
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// Zipf returns integer samples in [0, n) with probability proportional to
+// 1/(i+1)^s. It precomputes nothing; for repeated sampling use NewZipf.
+func (g *RNG) Zipf(s float64, n int) int {
+	return NewZipf(s, n).Sample(g)
+}
+
+// Zipf is a reusable sampler over [0, n) with P(i) ∝ 1/(i+1)^s, used to
+// synthesize token frequencies for the next-token-prediction populations.
+type Zipf struct {
+	cdf []float64
+}
+
+// NewZipf builds a Zipf sampler with exponent s over n ranks.
+func NewZipf(s float64, n int) *Zipf {
+	if n <= 0 {
+		panic(fmt.Sprintf("rng: Zipf needs n > 0, got %d", n))
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &Zipf{cdf: cdf}
+}
+
+// Sample draws one rank.
+func (z *Zipf) Sample(g *RNG) int {
+	u := g.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// N returns the number of ranks.
+func (z *Zipf) N() int { return len(z.cdf) }
+
+// Categorical draws an index with probability proportional to weights[i].
+// Weights must be non-negative with a positive sum.
+func (g *RNG) Categorical(weights []float64) int {
+	sum := 0.0
+	for _, w := range weights {
+		if w < 0 || math.IsNaN(w) {
+			panic(fmt.Sprintf("rng: Categorical weight must be non-negative, got %g", w))
+		}
+		sum += w
+	}
+	if sum <= 0 {
+		panic("rng: Categorical weights sum to zero")
+	}
+	u := g.Float64() * sum
+	acc := 0.0
+	for i, w := range weights {
+		acc += w
+		if u < acc {
+			return i
+		}
+	}
+	return len(weights) - 1 // float round-off
+}
+
+// Perm returns a random permutation of [0, n).
+func (g *RNG) Perm(n int) []int { return g.r.Perm(n) }
+
+// Shuffle shuffles the first n indices using swap.
+func (g *RNG) Shuffle(n int, swap func(i, j int)) { g.r.Shuffle(n, swap) }
+
+// SampleWithoutReplacement returns k distinct indices drawn uniformly from
+// [0, n). It panics if k > n or k < 0. The result is in random order.
+// This models sampling the client subset S ⊂ [Nval] in Eq. 2 of the paper.
+func (g *RNG) SampleWithoutReplacement(n, k int) []int {
+	if k < 0 || k > n {
+		panic(fmt.Sprintf("rng: SampleWithoutReplacement k=%d out of range [0, %d]", k, n))
+	}
+	if k == 0 {
+		return nil
+	}
+	// Partial Fisher-Yates over an index slice; O(n) memory, O(k) swaps.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 0; i < k; i++ {
+		j := i + g.IntN(n-i)
+		idx[i], idx[j] = idx[j], idx[i]
+	}
+	return idx[:k]
+}
+
+// WeightedSampleWithoutReplacement returns k distinct indices drawn without
+// replacement with probability at each step proportional to weights[i] among
+// the remaining items. This implements the biased client selection used to
+// model systems heterogeneity (weight (a_k + δ)^b in §3.2 of the paper).
+// Weights must be non-negative with positive sum; k must be in [0, n].
+func (g *RNG) WeightedSampleWithoutReplacement(weights []float64, k int) []int {
+	n := len(weights)
+	if k < 0 || k > n {
+		panic(fmt.Sprintf("rng: WeightedSampleWithoutReplacement k=%d out of range [0, %d]", k, n))
+	}
+	if k == 0 {
+		return nil
+	}
+	// Efraimidis-Spirakis: key = u^(1/w); take the k largest keys.
+	// Zero-weight items get key -inf and are only selected after all
+	// positive-weight items are exhausted.
+	type kw struct {
+		key float64
+		idx int
+	}
+	keys := make([]kw, n)
+	anyPositive := false
+	for i, w := range weights {
+		if w < 0 || math.IsNaN(w) {
+			panic(fmt.Sprintf("rng: weight[%d] must be non-negative, got %g", i, w))
+		}
+		if w > 0 {
+			anyPositive = true
+			keys[i] = kw{key: math.Pow(g.Float64(), 1/w), idx: i}
+		} else {
+			keys[i] = kw{key: math.Inf(-1), idx: i}
+		}
+	}
+	if !anyPositive {
+		panic("rng: all weights are zero")
+	}
+	// Partial selection of the k largest keys.
+	for i := 0; i < k; i++ {
+		best := i
+		for j := i + 1; j < n; j++ {
+			if keys[j].key > keys[best].key {
+				best = j
+			}
+		}
+		keys[i], keys[best] = keys[best], keys[i]
+	}
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		out[i] = keys[i].idx
+	}
+	return out
+}
+
+// Bool returns true with probability p.
+func (g *RNG) Bool(p float64) bool { return g.Float64() < p }
+
+// Choice returns a uniformly chosen element index of a slice of length n.
+func (g *RNG) Choice(n int) int { return g.IntN(n) }
+
+func sign(x float64) float64 {
+	if x < 0 {
+		return -1
+	}
+	return 1
+}

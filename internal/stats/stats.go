@@ -1,0 +1,194 @@
+// Package stats provides the summary statistics used to report experiments:
+// medians and quartiles over tuning trials (the paper plots median and fills
+// lower/upper quartiles), means, standard deviations, bootstrap resampling,
+// and rank correlation for the proxy-transfer analysis.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"noisyeval/internal/rng"
+)
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
+// interpolation between order statistics. It panics on an empty slice.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Quantile of empty slice")
+	}
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("stats: quantile %g outside [0, 1]", q))
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if len(s) == 1 {
+		return s[0]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Median returns the 0.5-quantile.
+func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
+
+// Quartiles returns the (25th, 50th, 75th) percentiles.
+func Quartiles(xs []float64) (q1, med, q3 float64) {
+	return Quantile(xs, 0.25), Quantile(xs, 0.5), Quantile(xs, 0.75)
+}
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Std returns the population standard deviation.
+func Std(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}
+
+// Min returns the minimum; panics on empty input.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Min of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum; panics on empty input.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Max of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// ArgMin returns the index of the minimum (first on ties).
+func ArgMin(xs []float64) int {
+	if len(xs) == 0 {
+		panic("stats: ArgMin of empty slice")
+	}
+	best := 0
+	for i, x := range xs {
+		if x < xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// BootstrapIndices returns k indices drawn uniformly with replacement from
+// [0, n) — the paper's bootstrap of K=16 RS configs from the bank of 128.
+func BootstrapIndices(n, k int, g *rng.RNG) []int {
+	if n <= 0 || k < 0 {
+		panic(fmt.Sprintf("stats: BootstrapIndices(n=%d, k=%d)", n, k))
+	}
+	out := make([]int, k)
+	for i := range out {
+		out[i] = g.IntN(n)
+	}
+	return out
+}
+
+// Summary is a five-number trial summary used by figure series.
+type Summary struct {
+	Q1, Median, Q3 float64
+	Mean           float64
+	N              int
+}
+
+// Summarize computes a Summary over trial outcomes.
+func Summarize(xs []float64) Summary {
+	q1, med, q3 := Quartiles(xs)
+	return Summary{Q1: q1, Median: med, Q3: q3, Mean: Mean(xs), N: len(xs)}
+}
+
+// Pearson returns the Pearson correlation of paired samples. It panics on
+// length mismatch and returns 0 when either side is constant.
+func Pearson(xs, ys []float64) float64 {
+	if len(xs) != len(ys) {
+		panic(fmt.Sprintf("stats: Pearson length mismatch %d vs %d", len(xs), len(ys)))
+	}
+	if len(xs) < 2 {
+		return 0
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// Spearman returns the Spearman rank correlation of paired samples,
+// used to quantify how well hyperparameter rankings transfer between proxy
+// and client datasets (Figures 10/14).
+func Spearman(xs, ys []float64) float64 {
+	return Pearson(Ranks(xs), Ranks(ys))
+}
+
+// Ranks returns the fractional ranks of xs (average rank for ties),
+// 1-based.
+func Ranks(xs []float64) []float64 {
+	n := len(xs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	ranks := make([]float64, n)
+	i := 0
+	for i < n {
+		j := i
+		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			ranks[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return ranks
+}

@@ -1,0 +1,197 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"noisyeval/internal/rng"
+)
+
+func TestQuantileBasics(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if Median(xs) != 2 {
+		t.Errorf("median = %g", Median(xs))
+	}
+	if Quantile(xs, 0) != 1 || Quantile(xs, 1) != 3 {
+		t.Error("extreme quantiles wrong")
+	}
+	if Quantile([]float64{5}, 0.7) != 5 {
+		t.Error("single-element quantile")
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	xs := []float64{0, 10}
+	if got := Quantile(xs, 0.25); got != 2.5 {
+		t.Errorf("q25 = %g, want 2.5", got)
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Quantile(xs, 0.5)
+	if xs[0] != 3 {
+		t.Error("input mutated")
+	}
+}
+
+func TestQuantileMonotoneProperty(t *testing.T) {
+	g := rng.New(1)
+	f := func(seed uint8) bool {
+		n := int(seed%20) + 2
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = g.Float64()
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			v := Quantile(xs, q)
+			if v < prev-1e-12 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantilePanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"empty": func() { Quantile(nil, 0.5) },
+		"q>1":   func() { Quantile([]float64{1}, 1.5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestQuartiles(t *testing.T) {
+	q1, med, q3 := Quartiles([]float64{1, 2, 3, 4, 5})
+	if q1 != 2 || med != 3 || q3 != 4 {
+		t.Errorf("quartiles = %g %g %g", q1, med, q3)
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if Mean(xs) != 5 {
+		t.Errorf("mean = %g", Mean(xs))
+	}
+	if Std(xs) != 2 {
+		t.Errorf("std = %g", Std(xs))
+	}
+	if Mean(nil) != 0 || Std([]float64{1}) != 0 {
+		t.Error("degenerate cases")
+	}
+}
+
+func TestMinMaxArgMin(t *testing.T) {
+	xs := []float64{3, -1, 4, -1}
+	if Min(xs) != -1 || Max(xs) != 4 {
+		t.Error("min/max")
+	}
+	if ArgMin(xs) != 1 {
+		t.Errorf("argmin = %d, want 1 (first tie)", ArgMin(xs))
+	}
+}
+
+func TestBootstrapIndices(t *testing.T) {
+	g := rng.New(2)
+	idx := BootstrapIndices(128, 16, g)
+	if len(idx) != 16 {
+		t.Fatalf("len = %d", len(idx))
+	}
+	for _, i := range idx {
+		if i < 0 || i >= 128 {
+			t.Fatalf("index %d out of range", i)
+		}
+	}
+	// With replacement: over many draws, duplicates must occur.
+	dups := 0
+	for trial := 0; trial < 50; trial++ {
+		s := BootstrapIndices(16, 16, g)
+		seen := map[int]bool{}
+		for _, v := range s {
+			if seen[v] {
+				dups++
+				break
+			}
+			seen[v] = true
+		}
+	}
+	if dups == 0 {
+		t.Error("bootstrap never produced duplicates; should sample with replacement")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.Median != 3 || s.Q1 != 2 || s.Q3 != 4 || s.Mean != 3 || s.N != 5 {
+		t.Errorf("summary = %+v", s)
+	}
+}
+
+func TestPearson(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{2, 4, 6, 8}
+	if got := Pearson(xs, ys); math.Abs(got-1) > 1e-12 {
+		t.Errorf("perfect corr = %g", got)
+	}
+	neg := []float64{8, 6, 4, 2}
+	if got := Pearson(xs, neg); math.Abs(got+1) > 1e-12 {
+		t.Errorf("perfect anticorr = %g", got)
+	}
+	if Pearson(xs, []float64{5, 5, 5, 5}) != 0 {
+		t.Error("constant side should give 0")
+	}
+}
+
+func TestSpearmanMonotone(t *testing.T) {
+	// Any monotone transform preserves Spearman = 1.
+	xs := []float64{0.1, 0.5, 0.9, 2.5}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = math.Exp(x)
+	}
+	if got := Spearman(xs, ys); math.Abs(got-1) > 1e-12 {
+		t.Errorf("monotone Spearman = %g", got)
+	}
+}
+
+func TestRanksWithTies(t *testing.T) {
+	r := Ranks([]float64{10, 20, 20, 30})
+	want := []float64{1, 2.5, 2.5, 4}
+	for i := range want {
+		if r[i] != want[i] {
+			t.Errorf("ranks = %v, want %v", r, want)
+			break
+		}
+	}
+}
+
+func TestRanksAreAPermutationWhenUnique(t *testing.T) {
+	g := rng.New(3)
+	xs := make([]float64, 10)
+	for i := range xs {
+		xs[i] = g.Float64()
+	}
+	r := Ranks(xs)
+	sorted := append([]float64(nil), r...)
+	sort.Float64s(sorted)
+	for i, v := range sorted {
+		if v != float64(i+1) {
+			t.Fatalf("ranks not 1..n: %v", r)
+		}
+	}
+}

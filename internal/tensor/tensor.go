@@ -1,0 +1,350 @@
+// Package tensor provides the dense float64 linear algebra used by the
+// pure-Go neural network substrate: vectors, row-major matrices, GEMM/GEMV,
+// elementwise kernels, and numerically stable softmax/log-sum-exp.
+//
+// The package is deliberately small: it implements exactly what federated
+// training of the study's 2-layer models needs, with bounds checks on entry
+// and tight inner loops.
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vec is a dense float64 vector.
+type Vec []float64
+
+// NewVec returns a zero vector of length n.
+func NewVec(n int) Vec { return make(Vec, n) }
+
+// Clone returns a copy of v.
+func (v Vec) Clone() Vec {
+	out := make(Vec, len(v))
+	copy(out, v)
+	return out
+}
+
+// Fill sets every element to x.
+func (v Vec) Fill(x float64) {
+	for i := range v {
+		v[i] = x
+	}
+}
+
+// Zero sets every element to 0.
+func (v Vec) Zero() { v.Fill(0) }
+
+// Add adds w into v elementwise. Lengths must match.
+func (v Vec) Add(w Vec) {
+	checkLen("Add", len(v), len(w))
+	for i := range v {
+		v[i] += w[i]
+	}
+}
+
+// Sub subtracts w from v elementwise.
+func (v Vec) Sub(w Vec) {
+	checkLen("Sub", len(v), len(w))
+	for i := range v {
+		v[i] -= w[i]
+	}
+}
+
+// Scale multiplies v by a.
+func (v Vec) Scale(a float64) {
+	for i := range v {
+		v[i] *= a
+	}
+}
+
+// Axpy computes v += a*w.
+func (v Vec) Axpy(a float64, w Vec) {
+	checkLen("Axpy", len(v), len(w))
+	for i := range v {
+		v[i] += a * w[i]
+	}
+}
+
+// Dot returns the inner product of v and w.
+func (v Vec) Dot(w Vec) float64 {
+	checkLen("Dot", len(v), len(w))
+	s := 0.0
+	for i := range v {
+		s += v[i] * w[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of v.
+func (v Vec) Norm2() float64 { return math.Sqrt(v.Dot(v)) }
+
+// Sum returns the sum of elements.
+func (v Vec) Sum() float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+// Mean returns the mean of elements; 0 for an empty vector.
+func (v Vec) Mean() float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	return v.Sum() / float64(len(v))
+}
+
+// ArgMax returns the index of the maximum element (first on ties).
+// It panics on an empty vector.
+func (v Vec) ArgMax() int {
+	if len(v) == 0 {
+		panic("tensor: ArgMax of empty vector")
+	}
+	best := 0
+	for i := 1; i < len(v); i++ {
+		if v[i] > v[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Max returns the maximum element.
+func (v Vec) Max() float64 {
+	if len(v) == 0 {
+		panic("tensor: Max of empty vector")
+	}
+	m := v[0]
+	for _, x := range v[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// SoftmaxInPlace replaces v with softmax(v), computed stably by subtracting
+// the max before exponentiation.
+func (v Vec) SoftmaxInPlace() {
+	if len(v) == 0 {
+		return
+	}
+	m := v.Max()
+	sum := 0.0
+	for i := range v {
+		v[i] = math.Exp(v[i] - m)
+		sum += v[i]
+	}
+	inv := 1 / sum
+	for i := range v {
+		v[i] *= inv
+	}
+}
+
+// LogSumExp returns log(sum(exp(v))) computed stably.
+func (v Vec) LogSumExp() float64 {
+	if len(v) == 0 {
+		panic("tensor: LogSumExp of empty vector")
+	}
+	m := v.Max()
+	sum := 0.0
+	for _, x := range v {
+		sum += math.Exp(x - m)
+	}
+	return m + math.Log(sum)
+}
+
+// HasNaN reports whether v contains a NaN or Inf.
+func (v Vec) HasNaN() bool {
+	for _, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+	}
+	return false
+}
+
+// Mat is a dense row-major matrix with Rows x Cols elements.
+type Mat struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols, row-major
+}
+
+// NewMat returns a zero Rows x Cols matrix.
+func NewMat(rows, cols int) *Mat {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: NewMat(%d, %d) with negative dimension", rows, cols))
+	}
+	return &Mat{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromRows builds a matrix from row slices; all rows must share a length.
+func FromRows(rows [][]float64) *Mat {
+	if len(rows) == 0 {
+		return NewMat(0, 0)
+	}
+	cols := len(rows[0])
+	m := NewMat(len(rows), cols)
+	for i, r := range rows {
+		if len(r) != cols {
+			panic(fmt.Sprintf("tensor: FromRows row %d has %d cols, want %d", i, len(r), cols))
+		}
+		copy(m.Row(i), r)
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m *Mat) At(i, j int) float64 {
+	m.check(i, j)
+	return m.Data[i*m.Cols+j]
+}
+
+// Set sets element (i, j).
+func (m *Mat) Set(i, j int, x float64) {
+	m.check(i, j)
+	m.Data[i*m.Cols+j] = x
+}
+
+// Row returns row i as a mutable slice view.
+func (m *Mat) Row(i int) Vec {
+	if i < 0 || i >= m.Rows {
+		panic(fmt.Sprintf("tensor: row %d out of range [0, %d)", i, m.Rows))
+	}
+	return Vec(m.Data[i*m.Cols : (i+1)*m.Cols])
+}
+
+// Clone returns a deep copy.
+func (m *Mat) Clone() *Mat {
+	out := NewMat(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// Zero sets all elements to 0.
+func (m *Mat) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Scale multiplies all elements by a.
+func (m *Mat) Scale(a float64) {
+	for i := range m.Data {
+		m.Data[i] *= a
+	}
+}
+
+// Add adds other into m elementwise. Shapes must match.
+func (m *Mat) Add(other *Mat) {
+	m.checkShape("Add", other)
+	for i := range m.Data {
+		m.Data[i] += other.Data[i]
+	}
+}
+
+// Axpy computes m += a*other elementwise.
+func (m *Mat) Axpy(a float64, other *Mat) {
+	m.checkShape("Axpy", other)
+	for i := range m.Data {
+		m.Data[i] += a * other.Data[i]
+	}
+}
+
+// MulVec computes out = m * x (GEMV). out must have length m.Rows and x
+// length m.Cols. out may not alias x.
+func (m *Mat) MulVec(x, out Vec) {
+	checkLen("MulVec x", m.Cols, len(x))
+	checkLen("MulVec out", m.Rows, len(out))
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		s := 0.0
+		for j, r := range row {
+			s += r * x[j]
+		}
+		out[i] = s
+	}
+}
+
+// MulVecT computes out = mᵀ * x. out must have length m.Cols and x length
+// m.Rows. out may not alias x. out is overwritten.
+func (m *Mat) MulVecT(x, out Vec) {
+	checkLen("MulVecT x", m.Rows, len(x))
+	checkLen("MulVecT out", m.Cols, len(out))
+	out.Zero()
+	for i := 0; i < m.Rows; i++ {
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, r := range row {
+			out[j] += r * xi
+		}
+	}
+}
+
+// AddOuter accumulates m += a * x yᵀ (rank-1 update), where x has length
+// m.Rows and y has length m.Cols. Used for weight gradients.
+func (m *Mat) AddOuter(a float64, x, y Vec) {
+	checkLen("AddOuter x", m.Rows, len(x))
+	checkLen("AddOuter y", m.Cols, len(y))
+	for i := 0; i < m.Rows; i++ {
+		ax := a * x[i]
+		if ax == 0 {
+			continue
+		}
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j := range row {
+			row[j] += ax * y[j]
+		}
+	}
+}
+
+// MatMul computes c = a * b (GEMM). Shapes: a is n×k, b is k×m, c must be
+// n×m and is overwritten. c may not alias a or b.
+func MatMul(a, b, c *Mat) {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMul inner dims %d != %d", a.Cols, b.Rows))
+	}
+	if c.Rows != a.Rows || c.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMul out shape %dx%d, want %dx%d", c.Rows, c.Cols, a.Rows, b.Cols))
+	}
+	c.Zero()
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+		crow := c.Data[i*c.Cols : (i+1)*c.Cols]
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+}
+
+// HasNaN reports whether the matrix contains NaN or Inf.
+func (m *Mat) HasNaN() bool { return Vec(m.Data).HasNaN() }
+
+func (m *Mat) check(i, j int) {
+	if i < 0 || i >= m.Rows || j < 0 || j >= m.Cols {
+		panic(fmt.Sprintf("tensor: index (%d, %d) out of %dx%d", i, j, m.Rows, m.Cols))
+	}
+}
+
+func (m *Mat) checkShape(op string, other *Mat) {
+	if m.Rows != other.Rows || m.Cols != other.Cols {
+		panic(fmt.Sprintf("tensor: %s shape mismatch %dx%d vs %dx%d", op, m.Rows, m.Cols, other.Rows, other.Cols))
+	}
+}
+
+func checkLen(op string, want, got int) {
+	if want != got {
+		panic(fmt.Sprintf("tensor: %s length mismatch: want %d, got %d", op, want, got))
+	}
+}

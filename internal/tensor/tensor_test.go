@@ -1,0 +1,292 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+
+func TestVecBasicOps(t *testing.T) {
+	v := Vec{1, 2, 3}
+	w := Vec{4, 5, 6}
+	v.Add(w)
+	if v[0] != 5 || v[1] != 7 || v[2] != 9 {
+		t.Fatalf("Add = %v", v)
+	}
+	v.Sub(w)
+	if v[0] != 1 || v[1] != 2 || v[2] != 3 {
+		t.Fatalf("Sub = %v", v)
+	}
+	v.Scale(2)
+	if v[0] != 2 || v[2] != 6 {
+		t.Fatalf("Scale = %v", v)
+	}
+	v.Axpy(0.5, w)
+	if v[0] != 4 || v[1] != 6.5 || v[2] != 9 {
+		t.Fatalf("Axpy = %v", v)
+	}
+}
+
+func TestVecDotNormSum(t *testing.T) {
+	v := Vec{3, 4}
+	if v.Dot(v) != 25 {
+		t.Errorf("Dot = %g", v.Dot(v))
+	}
+	if v.Norm2() != 5 {
+		t.Errorf("Norm2 = %g", v.Norm2())
+	}
+	if v.Sum() != 7 {
+		t.Errorf("Sum = %g", v.Sum())
+	}
+	if v.Mean() != 3.5 {
+		t.Errorf("Mean = %g", v.Mean())
+	}
+	if (Vec{}).Mean() != 0 {
+		t.Error("empty Mean should be 0")
+	}
+}
+
+func TestVecLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	Vec{1}.Add(Vec{1, 2})
+}
+
+func TestArgMax(t *testing.T) {
+	if got := (Vec{1, 5, 5, 2}).ArgMax(); got != 1 {
+		t.Errorf("ArgMax = %d, want 1 (first of ties)", got)
+	}
+	if got := (Vec{-3, -1, -2}).ArgMax(); got != 1 {
+		t.Errorf("ArgMax = %d", got)
+	}
+}
+
+func TestSoftmaxSumsToOne(t *testing.T) {
+	f := func(a, b, c float64) bool {
+		clamp := func(x float64) float64 {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return 0
+			}
+			return math.Mod(x, 50)
+		}
+		v := Vec{clamp(a), clamp(b), clamp(c)}
+		v.SoftmaxInPlace()
+		sum := v.Sum()
+		for _, x := range v {
+			if x < 0 || x > 1 {
+				return false
+			}
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSoftmaxStableForLargeLogits(t *testing.T) {
+	v := Vec{1000, 1001, 999}
+	v.SoftmaxInPlace()
+	if v.HasNaN() {
+		t.Fatalf("softmax overflowed: %v", v)
+	}
+	if v.ArgMax() != 1 {
+		t.Errorf("ArgMax after softmax = %d", v.ArgMax())
+	}
+}
+
+func TestLogSumExp(t *testing.T) {
+	v := Vec{0, 0}
+	if !almostEq(v.LogSumExp(), math.Log(2)) {
+		t.Errorf("LogSumExp = %g, want ln 2", v.LogSumExp())
+	}
+	big := Vec{1000, 1000}
+	if got := big.LogSumExp(); math.Abs(got-(1000+math.Log(2))) > 1e-9 {
+		t.Errorf("LogSumExp large = %g", got)
+	}
+}
+
+func TestMatAtSetRow(t *testing.T) {
+	m := NewMat(2, 3)
+	m.Set(1, 2, 7)
+	if m.At(1, 2) != 7 {
+		t.Fatalf("At = %g", m.At(1, 2))
+	}
+	row := m.Row(1)
+	row[0] = 5
+	if m.At(1, 0) != 5 {
+		t.Fatal("Row must be a mutable view")
+	}
+}
+
+func TestMatOutOfRangePanics(t *testing.T) {
+	m := NewMat(2, 2)
+	for _, fn := range []func(){
+		func() { m.At(2, 0) },
+		func() { m.At(0, -1) },
+		func() { m.Row(5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	out := NewVec(3)
+	m.MulVec(Vec{1, 1}, out)
+	want := Vec{3, 7, 11}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("MulVec = %v, want %v", out, want)
+		}
+	}
+}
+
+func TestMulVecT(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	out := NewVec(2)
+	m.MulVecT(Vec{1, 0, 1}, out)
+	if out[0] != 6 || out[1] != 8 {
+		t.Fatalf("MulVecT = %v, want [6 8]", out)
+	}
+}
+
+func TestMulVecTMatchesTransposeMulVec(t *testing.T) {
+	f := func(seed uint8) bool {
+		// Build a 3x4 matrix and a 3-vector from the seed.
+		m := NewMat(3, 4)
+		x := NewVec(3)
+		v := float64(seed)
+		for i := range m.Data {
+			v = math.Mod(v*1.7+1, 10)
+			m.Data[i] = v - 5
+		}
+		for i := range x {
+			v = math.Mod(v*2.3+1, 10)
+			x[i] = v - 5
+		}
+		got := NewVec(4)
+		m.MulVecT(x, got)
+		// Explicit transpose.
+		mt := NewMat(4, 3)
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 4; j++ {
+				mt.Set(j, i, m.At(i, j))
+			}
+		}
+		want := NewVec(4)
+		mt.MulVec(x, want)
+		for i := range got {
+			if math.Abs(got[i]-want[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddOuter(t *testing.T) {
+	m := NewMat(2, 2)
+	m.AddOuter(2, Vec{1, 2}, Vec{3, 4})
+	// 2 * [1;2][3 4] = [[6, 8], [12, 16]]
+	want := [][]float64{{6, 8}, {12, 16}}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if m.At(i, j) != want[i][j] {
+				t.Fatalf("AddOuter = %v", m.Data)
+			}
+		}
+	}
+}
+
+func TestMatMul(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	c := NewMat(2, 2)
+	MatMul(a, b, c)
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if c.At(i, j) != want[i][j] {
+				t.Fatalf("MatMul = %v", c.Data)
+			}
+		}
+	}
+}
+
+func TestMatMulShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on shape mismatch")
+		}
+	}()
+	MatMul(NewMat(2, 3), NewMat(2, 3), NewMat(2, 3))
+}
+
+func TestMatAddScaleAxpy(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}})
+	b := FromRows([][]float64{{10, 20}})
+	a.Add(b)
+	if a.At(0, 1) != 22 {
+		t.Fatalf("Add = %v", a.Data)
+	}
+	a.Scale(0.5)
+	if a.At(0, 0) != 5.5 {
+		t.Fatalf("Scale = %v", a.Data)
+	}
+	a.Axpy(0.1, b)
+	if !almostEq(a.At(0, 1), 13) {
+		t.Fatalf("Axpy = %v", a.Data)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}})
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone shares storage")
+	}
+	v := Vec{1, 2}
+	cv := v.Clone()
+	cv[0] = 99
+	if v[0] != 1 {
+		t.Fatal("Vec Clone shares storage")
+	}
+}
+
+func TestHasNaN(t *testing.T) {
+	if (Vec{1, 2}).HasNaN() {
+		t.Error("false positive")
+	}
+	if !(Vec{1, math.NaN()}).HasNaN() {
+		t.Error("missed NaN")
+	}
+	if !(Vec{math.Inf(1)}).HasNaN() {
+		t.Error("missed Inf")
+	}
+}
+
+func TestFromRowsRagged(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on ragged rows")
+		}
+	}()
+	FromRows([][]float64{{1, 2}, {1}})
+}

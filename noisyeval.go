@@ -1,0 +1,175 @@
+// Package noisyeval is a Go reproduction of "On Noisy Evaluation in
+// Federated Hyperparameter Tuning" (Kuo et al., MLSys 2023). It provides:
+//
+//   - a pure-Go cross-device federated learning simulator (FedAdam server
+//     optimization over client SGD on synthetic populations mirroring
+//     CIFAR10 / FEMNIST / StackOverflow / Reddit statistics),
+//   - the paper's evaluation-noise models: client subsampling, data
+//     heterogeneity (iid repartitioning), systems heterogeneity (biased
+//     client selection), and differential privacy (Laplace releases and
+//     one-shot top-k selection),
+//   - the tuning methods compared in the study: random search, grid search,
+//     TPE, successive halving, Hyperband, BOHB, re-evaluation-averaged RS,
+//     and the paper's one-shot proxy RS, and
+//   - the ConfigBank protocol (train once, bootstrap many trials) plus one
+//     experiment driver per table/figure of the paper.
+//
+// This facade re-exports the library's primary types so downstream users
+// interact with one import path; packages under internal/ hold the
+// implementation. Start with Quickstart in examples/quickstart, or:
+//
+//	pop := noisyeval.MustGenerate(noisyeval.CIFAR10Like().Scaled(0.2, 0), noisyeval.NewRNG(1))
+//	bank, _ := noisyeval.BuildBank(pop, noisyeval.DefaultBuildOptions(), 1)
+//	oracle, _ := noisyeval.NewBankOracle(bank, 0, noisyeval.SchemeWithCount(10), 1)
+//	hist := noisyeval.Tuner{Method: noisyeval.RandomSearch{}, Space: noisyeval.DefaultSpace(),
+//		Settings: noisyeval.DefaultSettings()}.Run(oracle, noisyeval.NewRNG(2))
+package noisyeval
+
+import (
+	"noisyeval/internal/core"
+	"noisyeval/internal/data"
+	"noisyeval/internal/dp"
+	"noisyeval/internal/eval"
+	"noisyeval/internal/fl"
+	"noisyeval/internal/hpo"
+	"noisyeval/internal/rng"
+)
+
+// Federated learning simulator.
+type (
+	// HParams is one hyperparameter configuration θ (Appendix B).
+	HParams = fl.HParams
+	// TrainerOptions configures the federated round loop.
+	TrainerOptions = fl.Options
+	// Trainer runs federated training of one configuration.
+	Trainer = fl.Trainer
+)
+
+// Datasets.
+type (
+	// DataSpec describes a synthetic federated population.
+	DataSpec = data.Spec
+	// Population is a generated train/validation client split.
+	Population = data.Population
+	// Client is one device with local data.
+	Client = data.Client
+	// Example is one labelled sample.
+	Example = data.Example
+)
+
+// Evaluation noise.
+type (
+	// Scheme configures one evaluation call's noise pipeline.
+	Scheme = eval.Scheme
+	// Evaluator turns per-client error vectors into (noisy) evaluations.
+	Evaluator = eval.Evaluator
+	// DPParams configures Laplace perturbation budgets.
+	DPParams = dp.Params
+)
+
+// Tuning methods and protocol.
+type (
+	// Space is the hyperparameter search space.
+	Space = hpo.Space
+	// Budget is the tuning resource budget in training rounds.
+	Budget = hpo.Budget
+	// Settings configures a tuning run.
+	Settings = hpo.Settings
+	// Method is one tuning algorithm.
+	Method = hpo.Method
+	// Oracle is what tuning methods query.
+	Oracle = hpo.Oracle
+	// History is a tuning run's observation log.
+	History = hpo.History
+	// Observation is one tuner-visible evaluation event.
+	Observation = hpo.Observation
+
+	// RandomSearch, GridSearch, TPE, SuccessiveHalving, Hyperband, BOHB,
+	// ResampledRS, and OneShotProxyRS are the tuning methods of the study.
+	RandomSearch      = hpo.RandomSearch
+	GridSearch        = hpo.GridSearch
+	TPE               = hpo.TPE
+	SuccessiveHalving = hpo.SuccessiveHalving
+	Hyperband         = hpo.Hyperband
+	BOHB              = hpo.BOHB
+	ResampledRS       = hpo.ResampledRS
+	NoisyBO           = hpo.NoisyBO
+	OneShotProxyRS    = hpo.OneShotProxyRS
+)
+
+// Bank protocol and orchestration.
+type (
+	// Bank is the train-once/bootstrap-many artifact of the study.
+	Bank = core.Bank
+	// BuildOptions configures bank construction.
+	BuildOptions = core.BuildOptions
+	// BankOracle serves tuning methods from a bank.
+	BankOracle = core.BankOracle
+	// LiveOracle trains configurations on demand.
+	LiveOracle = core.LiveOracle
+	// Tuner couples a method, space, and settings.
+	Tuner = core.Tuner
+	// Noise describes a combined evaluation-noise setting.
+	Noise = core.Noise
+	// TrialResult is one bootstrap trial outcome.
+	TrialResult = core.TrialResult
+	// RNG is the deterministic splittable generator used everywhere.
+	RNG = rng.RNG
+)
+
+// Dataset constructors (paper Table 1/2 statistics).
+var (
+	CIFAR10Like       = data.CIFAR10Like
+	FEMNISTLike       = data.FEMNISTLike
+	StackOverflowLike = data.StackOverflowLike
+	RedditLike        = data.RedditLike
+	AllSpecs          = data.AllSpecs
+	Generate          = data.Generate
+	MustGenerate      = data.MustGenerate
+	RepartitionIID    = data.RepartitionIID
+)
+
+// Simulator constructors.
+var (
+	NewTrainer            = fl.NewTrainer
+	DefaultTrainerOptions = fl.DefaultOptions
+)
+
+// Tuning constructors.
+var (
+	DefaultSpace    = hpo.DefaultSpace
+	DefaultBudget   = hpo.DefaultBudget
+	DefaultSettings = hpo.DefaultSettings
+	RungRounds      = hpo.RungRounds
+)
+
+// Bank/orchestration constructors.
+var (
+	DefaultBuildOptions = core.DefaultBuildOptions
+	BuildBank           = core.BuildBank
+	SaveBank            = core.SaveBank
+	LoadBank            = core.LoadBank
+	NewBankOracle       = core.NewBankOracle
+	NewLiveOracle       = core.NewLiveOracle
+	FinalErrors         = core.FinalErrors
+	NoiselessSetting    = core.Noiseless
+)
+
+// TailError returns the q-th percentile per-client error (tail performance,
+// paper §6).
+func TailError(errs []float64, q float64) float64 { return eval.TailError(errs, q) }
+
+// WorstClientError returns the maximum per-client error.
+func WorstClientError(errs []float64) float64 { return eval.WorstClientError(errs) }
+
+// NewRNG returns a deterministic root RNG.
+func NewRNG(seed uint64) *RNG { return rng.New(seed) }
+
+// NoiselessScheme is the paper's noise-free reference evaluation.
+func NoiselessScheme() Scheme { return eval.Noiseless() }
+
+// SchemeWithCount evaluates on a fixed number of sampled clients with the
+// paper's default weighted aggregation.
+func SchemeWithCount(count int) Scheme {
+	return Scheme{Count: count, Weighted: true}
+}
