@@ -1,0 +1,39 @@
+# Local runs and CI invoke the same targets (.github/workflows/ci.yml).
+#
+#   make build   compile everything
+#   make lint    gofmt + go vet
+#   make test    full test suite (bank cache at $(CACHE_DIR))
+#   make race    race-detector run over the concurrency-heavy packages
+#   make bench   benchmark smoke run -> bench.out + BENCH_smoke.json
+#   make figures quick-scale figure regeneration through the bank cache
+
+GO        ?= go
+CACHE_DIR ?= $(HOME)/.cache/noisyeval-banks
+
+.PHONY: build lint test race bench figures clean
+
+build:
+	$(GO) build ./...
+
+lint:
+	@fmt="$$(gofmt -l .)"; if [ -n "$$fmt" ]; then echo "gofmt needed:" $$fmt; exit 1; fi
+	$(GO) vet ./...
+
+test: build
+	NOISYEVAL_CACHE_DIR=$(CACHE_DIR) $(GO) test ./...
+
+race:
+	NOISYEVAL_CACHE_DIR=$(CACHE_DIR) $(GO) test -race \
+		-run 'TestScheduler|TestBankStore|TestBankKey|TestBuildBank|TestSuite' \
+		./internal/core ./internal/exper
+
+bench:
+	NOISYEVAL_CACHE_DIR=$(CACHE_DIR) $(GO) test -bench=. -benchtime=1x -run '^$$' . | tee bench.out
+	$(GO) run ./tools/bench2json < bench.out > BENCH_smoke.json
+
+figures:
+	$(GO) run ./cmd/figures -quick -cache-dir $(CACHE_DIR) -out results
+
+clean:
+	rm -f bench.out BENCH_smoke.json
+	rm -rf results

@@ -10,6 +10,7 @@
 package noisyeval_test
 
 import (
+	"os"
 	"sync"
 	"testing"
 
@@ -28,11 +29,19 @@ var (
 
 // benchSuite builds the shared quick-scale suite (bank construction is the
 // one-time cost; every benchmark then resamples from the banks, exactly as
-// the paper's analysis pipeline does).
+// the paper's analysis pipeline does). When NOISYEVAL_CACHE_DIR is set (as
+// in CI, where the directory persists across runs via actions/cache), banks
+// come from the content-addressed store instead of being retrained.
 func benchSuite(b *testing.B) *exper.Suite {
 	b.Helper()
 	suiteOnce.Do(func() {
 		suiteVal = exper.NewSuite(exper.Quick())
+		if dir := os.Getenv("NOISYEVAL_CACHE_DIR"); dir != "" {
+			store, err := core.NewBankStore(dir)
+			if err == nil {
+				suiteVal.SetStore(store)
+			}
+		}
 		// Force-build the four dataset banks outside benchmark timing.
 		for _, name := range exper.DatasetNames {
 			suiteVal.Bank(name)

@@ -35,6 +35,7 @@ func main() {
 		seed       = flag.Uint64("seed", 1, "RNG seed")
 		partitions = flag.String("partitions", "0.5,1", "extra iid-repartition fractions (comma-separated)")
 		workers    = flag.Int("workers", 0, "build parallelism (0 = GOMAXPROCS)")
+		cacheDir   = flag.String("cache-dir", "", "content-addressed bank cache directory (skip training on hit)")
 	)
 	flag.Parse()
 
@@ -71,13 +72,26 @@ func main() {
 	opts.Partitions = ps
 	opts.Workers = *workers
 
+	var store *core.BankStore
+	if *cacheDir != "" {
+		store, err = core.NewBankStore(*cacheDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("bank cache at %s (key %s)", store.Dir(), core.BankKeyForPopulation(pop, opts, *seed))
+	}
+
 	log.Printf("training %d configs x %d rounds (checkpoints at rungs, partitions %v)...", *configs, *rounds, append([]float64{0}, ps...))
 	start := time.Now()
-	bank, err := core.BuildBank(pop, opts, *seed)
+	bank, hit, err := core.BuildBankCached(store, pop, opts, *seed)
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("built in %s", time.Since(start).Round(time.Second))
+	if hit {
+		log.Printf("cache hit, skipped training (%s)", time.Since(start).Round(time.Millisecond))
+	} else {
+		log.Printf("built in %s", time.Since(start).Round(time.Second))
+	}
 
 	if err := core.SaveBank(bank, path); err != nil {
 		log.Fatal(err)

@@ -1,13 +1,18 @@
 // Command figures regenerates every table and figure of the paper's
 // evaluation, writing a text rendering and a CSV per experiment into the
-// output directory.
+// output directory. Drivers run concurrently on a bounded worker pool; bank
+// construction is deduplicated, demand-driven, and (with -cache-dir)
+// content-addressed on disk, so repeated runs reuse banks instead of
+// retraining.
 //
 // Usage:
 //
-//	figures -quick                 # miniature banks, seconds
-//	figures                        # figure-scale banks (minutes)
-//	figures -only figure3,figure9  # subset
-//	figures -banks results/banks   # reuse banks built by cmd/bank
+//	figures -quick                       # miniature banks, seconds
+//	figures                              # figure-scale banks (minutes)
+//	figures -only figure3,figure9        # subset
+//	figures -cache-dir .cache/banks      # content-addressed bank cache
+//	figures -jobs 4                      # bound driver/bank concurrency
+//	figures -banks results/banks         # reuse banks built by cmd/bank
 package main
 
 import (
@@ -29,11 +34,14 @@ func main() {
 	log.SetPrefix("figures: ")
 
 	var (
-		quick  = flag.Bool("quick", false, "miniature configuration (tests-scale)")
-		outDir = flag.String("out", "results", "output directory")
-		only   = flag.String("only", "", "comma-separated subset of experiment ids")
-		banks  = flag.String("banks", "", "directory of pre-built <dataset>.bank files to reuse")
-		seed   = flag.Uint64("seed", 1, "RNG seed")
+		quick    = flag.Bool("quick", false, "miniature configuration (tests-scale)")
+		outDir   = flag.String("out", "results", "output directory")
+		only     = flag.String("only", "", "comma-separated subset of experiment ids")
+		banks    = flag.String("banks", "", "directory of pre-built <dataset>.bank files to reuse")
+		cacheDir = flag.String("cache-dir", "", "content-addressed bank cache directory (reused across runs)")
+		jobs     = flag.Int("jobs", 0, "max concurrent drivers/bank builds (0 = GOMAXPROCS)")
+		seed     = flag.Uint64("seed", 1, "RNG seed")
+		verbose  = flag.Bool("v", false, "log per-task scheduler events")
 	)
 	flag.Parse()
 
@@ -43,6 +51,17 @@ func main() {
 	}
 	cfg.Seed = *seed
 	suite := exper.NewSuite(cfg)
+
+	var store *core.BankStore
+	if *cacheDir != "" {
+		var err error
+		store, err = core.NewBankStore(*cacheDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		suite.SetStore(store)
+		log.Printf("bank cache at %s", store.Dir())
+	}
 
 	if *banks != "" {
 		for _, name := range exper.DatasetNames {
@@ -59,20 +78,48 @@ func main() {
 
 	selected := exper.FigureOrder()
 	if *only != "" {
-		selected = strings.Split(*only, ",")
+		selected = selected[:0]
+		for _, id := range strings.Split(*only, ",") {
+			selected = append(selected, strings.TrimSpace(id))
+		}
 	}
-	registry := exper.AllFigures()
+	jobList, err := exper.JobsByID(selected)
+	if err != nil {
+		log.Fatalf("%v (known: %s)", err, strings.Join(exper.FigureOrder(), ", "))
+	}
 
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		log.Fatal(err)
 	}
-	for _, id := range selected {
-		driver, ok := registry[strings.TrimSpace(id)]
-		if !ok {
-			log.Fatalf("unknown experiment %q (known: %s)", id, strings.Join(exper.FigureOrder(), ", "))
+
+	sch := exper.Scheduler{Jobs: *jobs}
+	if *verbose {
+		sch.OnEvent = func(e exper.Event) {
+			switch e.Kind {
+			case exper.TaskStart:
+				log.Printf("start %s", e.Task)
+			case exper.TaskDone:
+				log.Printf("done  %s (%s)", e.Task, e.Elapsed.Round(time.Millisecond))
+			case exper.TaskError:
+				log.Printf("FAIL  %s (%s): %v", e.Task, e.Elapsed.Round(time.Millisecond), e.Err)
+			case exper.TaskSkip:
+				log.Printf("skip  %s (cancelled)", e.Task)
+			}
 		}
-		start := time.Now()
-		res := driver(suite)
+	}
+
+	start := time.Now()
+	results, runErr := sch.Run(suite, jobList)
+
+	// Write every experiment that completed, even when a later driver
+	// failed — hours of finished figure-scale work must not be discarded
+	// because one driver panicked. Cancelled drivers have a zero Result.
+	wrote := 0
+	for _, res := range results {
+		if res.ID == "" {
+			continue
+		}
+		wrote++
 		txtPath := filepath.Join(*outDir, res.ID+".txt")
 		if err := os.WriteFile(txtPath, []byte(res.Title+"\n\n"+res.Text()), 0o644); err != nil {
 			log.Fatal(err)
@@ -81,8 +128,19 @@ func main() {
 		if err := plot.WriteCSV(csvPath, res.CSVHeader, res.CSVRows); err != nil {
 			log.Fatal(err)
 		}
-		log.Printf("%-9s -> %s, %s (%s)", res.ID, txtPath, csvPath, time.Since(start).Round(time.Millisecond))
+		log.Printf("%-9s -> %s, %s", res.ID, txtPath, csvPath)
 		fmt.Println(res.Title)
 		fmt.Println(res.Text())
+	}
+
+	log.Printf("%d/%d experiments in %s; banks trained: %d", wrote, len(results),
+		time.Since(start).Round(time.Millisecond), suite.BankBuilds())
+	if store != nil {
+		st := store.Stats()
+		log.Printf("bank cache: %d hits, %d misses, %d stored, %d corrupt evicted",
+			st.Hits, st.Misses, st.Builds, st.Evicted)
+	}
+	if runErr != nil {
+		log.Fatal(runErr)
 	}
 }

@@ -1,0 +1,3 @@
+module noisyeval
+
+go 1.24

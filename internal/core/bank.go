@@ -94,19 +94,9 @@ func BuildBank(pop *data.Population, opts BuildOptions, seed uint64) (*Bank, err
 	if opts.MaxRounds < 1 {
 		return nil, fmt.Errorf("core: MaxRounds %d must be >= 1", opts.MaxRounds)
 	}
-	if opts.Eta < 2 {
-		opts.Eta = 3
-	}
-	if opts.Levels < 1 {
-		opts.Levels = 5
-	}
-	if opts.Train.ClientsPerRound == 0 {
-		opts.Train = fl.DefaultOptions()
-	}
-	if err := opts.Space.Validate(); err != nil {
-		// Zero-value space means "use the default".
-		opts.Space = hpo.DefaultSpace()
-	}
+	workers := opts.Workers
+	opts = normalizeBuildOptions(opts)
+	opts.Workers = workers
 
 	root := rng.New(seed)
 	rounds := hpo.RungRounds(opts.MaxRounds, opts.Eta, opts.Levels)
@@ -148,7 +138,6 @@ func BuildBank(pop *data.Population, opts BuildOptions, seed uint64) (*Bank, err
 		}
 	}
 
-	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}

@@ -1,0 +1,273 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/gob"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"noisyeval/internal/data"
+)
+
+// bankKeyVersion is bumped whenever the bank encoding or the meaning of any
+// hashed field changes, invalidating all previously cached entries.
+const bankKeyVersion = "bankstore-v1"
+
+// normalizeBuildOptions applies the same defaulting BuildBank performs, so
+// that two option values which build identical banks hash identically.
+// Workers is zeroed: parallelism does not affect bank content
+// (TestBuildBankDeterministicAcrossParallelism).
+func normalizeBuildOptions(opts BuildOptions) BuildOptions {
+	if opts.Eta < 2 {
+		opts.Eta = 3
+	}
+	if opts.Levels < 1 {
+		opts.Levels = 5
+	}
+	if opts.Train.ClientsPerRound == 0 {
+		opts.Train = DefaultBuildOptions().Train
+	}
+	if err := opts.Space.Validate(); err != nil {
+		opts.Space = DefaultBuildOptions().Space
+	}
+	opts.Workers = 0
+	return opts
+}
+
+// BankKey returns the content address of the bank BuildBank(pop, opts, seed)
+// would produce for a population generated from spec: a hex SHA-256 over the
+// dataset spec, the normalized build options (including an explicit config
+// pool, if any), and the seed. Construction is deterministic in exactly these
+// inputs, so equal keys mean byte-identical bank content.
+func BankKey(spec data.Spec, opts BuildOptions, seed uint64) string {
+	opts = normalizeBuildOptions(opts)
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\n", bankKeyVersion)
+	fmt.Fprintf(h, "spec %#v\n", spec)
+	fmt.Fprintf(h, "numconfigs %d maxrounds %d eta %d levels %d\n",
+		opts.NumConfigs, opts.MaxRounds, opts.Eta, opts.Levels)
+	fmt.Fprintf(h, "partitions %v\n", opts.Partitions)
+	fmt.Fprintf(h, "train %#v\n", opts.Train)
+	fmt.Fprintf(h, "space %#v\n", opts.Space)
+	fmt.Fprintf(h, "pool %d\n", len(opts.Configs))
+	for _, c := range opts.Configs {
+		fmt.Fprintf(h, "%#v\n", c)
+	}
+	fmt.Fprintf(h, "seed %d\n", seed)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// PopulationFingerprint hashes the population's actual content (spec plus
+// every client's examples), so cache keys distinguish populations that share
+// a Spec but were generated differently (e.g. different generation seeds).
+// Cost is one pass over the raw data — noise next to training a bank.
+func PopulationFingerprint(pop *data.Population) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\nspec %#v\n", bankKeyVersion, pop.Spec)
+	enc := gob.NewEncoder(h)
+	for _, pool := range [][]*data.Client{pop.Train, pop.Val} {
+		if err := enc.Encode(pool); err != nil {
+			// Clients are plain exported slices/scalars; an encode failure
+			// is a programming error, never data-dependent.
+			panic(fmt.Sprintf("core: population fingerprint: %v", err))
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// BankKeyForPopulation is BankKey bound to a concrete population: it extends
+// the spec/options/seed address with the population's content fingerprint.
+// BuildBankCached keys on this, so two different populations generated from
+// one Spec can never collide on a cache entry.
+func BankKeyForPopulation(pop *data.Population, opts BuildOptions, seed uint64) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\n%s\n", BankKey(pop.Spec, opts, seed), PopulationFingerprint(pop))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// StoreStats reports cache-effectiveness counters for one BankStore.
+type StoreStats struct {
+	Hits    int64 // entries served from disk
+	Misses  int64 // lookups that found no (valid) entry
+	Builds  int64 // banks built and written through GetOrBuild
+	Evicted int64 // corrupt entries removed during lookup
+}
+
+// BankStore is a content-addressed on-disk bank cache. Entries are the
+// gob+gzip encoding of SaveBank, stored as <dir>/<key>.bank where key comes
+// from BankKey. Writes go through a temp file plus atomic rename, so a
+// crashed or concurrent writer can never leave a partial entry visible;
+// corrupt entries (truncation, bit rot, format drift) are detected on load,
+// evicted, and rebuilt. A nil *BankStore is valid and behaves as an always-
+// miss cache, so call sites can thread an optional store without branching.
+type BankStore struct {
+	dir string
+
+	mu       sync.Mutex
+	inflight map[string]*storeCall
+
+	hits, misses, builds, evicted atomic.Int64
+}
+
+// storeCall deduplicates concurrent GetOrBuild calls for one key
+// (singleflight): the first caller builds, the rest wait on done.
+type storeCall struct {
+	done chan struct{}
+	bank *Bank
+	err  error
+}
+
+// NewBankStore opens (creating if needed) a bank cache rooted at dir.
+func NewBankStore(dir string) (*BankStore, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("core: bank store needs a directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("core: bank store: %w", err)
+	}
+	return &BankStore{dir: dir, inflight: map[string]*storeCall{}}, nil
+}
+
+// Dir returns the cache root.
+func (s *BankStore) Dir() string {
+	if s == nil {
+		return ""
+	}
+	return s.dir
+}
+
+// Path returns the on-disk location of key's entry.
+func (s *BankStore) Path(key string) string {
+	return filepath.Join(s.dir, key+".bank")
+}
+
+// Get returns the cached bank for key, or (nil, nil) on a miss. A corrupt
+// entry is evicted and reported as a miss, never as an error: the caller can
+// always rebuild. An entry that merely fails to open (transient fd/permission
+// trouble) is a plain miss — content that can't be read is not evidence of
+// corruption, and eviction would destroy an expensive valid artifact.
+func (s *BankStore) Get(key string) (*Bank, error) {
+	if s == nil {
+		return nil, nil
+	}
+	path := s.Path(key)
+	f, err := os.Open(path)
+	if err != nil {
+		s.misses.Add(1)
+		return nil, nil
+	}
+	defer f.Close()
+	b, err := decodeBank(f)
+	if err != nil {
+		// Truncated write, bit rot, or encoding drift: drop the entry and
+		// treat as a miss so the caller rebuilds it.
+		os.Remove(path)
+		s.evicted.Add(1)
+		s.misses.Add(1)
+		return nil, nil
+	}
+	s.hits.Add(1)
+	return b, nil
+}
+
+// Put writes the bank under key atomically (temp file in the cache dir, then
+// rename), so readers only ever observe complete entries.
+func (s *BankStore) Put(key string, b *Bank) error {
+	if s == nil {
+		return fmt.Errorf("core: Put on nil bank store")
+	}
+	tmp, err := os.CreateTemp(s.dir, key+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("core: bank store put: %w", err)
+	}
+	tmpPath := tmp.Name()
+	tmp.Close()
+	if err := SaveBank(b, tmpPath); err != nil {
+		os.Remove(tmpPath)
+		return err
+	}
+	if err := os.Rename(tmpPath, s.Path(key)); err != nil {
+		os.Remove(tmpPath)
+		return fmt.Errorf("core: bank store put: %w", err)
+	}
+	return nil
+}
+
+// GetOrBuild returns the cached bank for key, building and caching it on a
+// miss. Concurrent calls for the same key are coalesced: exactly one caller
+// runs build, the rest receive its result. Build errors are not cached.
+func (s *BankStore) GetOrBuild(key string, build func() (*Bank, error)) (*Bank, error) {
+	if s == nil {
+		return build()
+	}
+	s.mu.Lock()
+	if c, ok := s.inflight[key]; ok {
+		s.mu.Unlock()
+		<-c.done
+		return c.bank, c.err
+	}
+	c := &storeCall{done: make(chan struct{})}
+	s.inflight[key] = c
+	s.mu.Unlock()
+
+	defer func() {
+		close(c.done)
+		s.mu.Lock()
+		delete(s.inflight, key)
+		s.mu.Unlock()
+	}()
+
+	if b, err := s.Get(key); err == nil && b != nil {
+		c.bank = b
+		return b, nil
+	}
+	b, err := build()
+	if err != nil {
+		c.err = err
+		return nil, err
+	}
+	s.builds.Add(1)
+	if perr := s.Put(key, b); perr != nil {
+		// The bank itself is good; a failed cache write (full disk,
+		// read-only cache) must not fail the computation.
+		c.bank = b
+		return b, nil
+	}
+	c.bank = b
+	return b, nil
+}
+
+// Stats returns a snapshot of the cache counters.
+func (s *BankStore) Stats() StoreStats {
+	if s == nil {
+		return StoreStats{}
+	}
+	return StoreStats{
+		Hits:    s.hits.Load(),
+		Misses:  s.misses.Load(),
+		Builds:  s.builds.Load(),
+		Evicted: s.evicted.Load(),
+	}
+}
+
+// BuildBankCached is BuildBank with a write-through cache: it returns the
+// stored bank when the content address (BankKeyForPopulation) hits, and
+// builds + stores it otherwise. The returned bool reports a cache hit. A nil
+// store degrades to a plain BuildBank.
+func BuildBankCached(store *BankStore, pop *data.Population, opts BuildOptions, seed uint64) (*Bank, bool, error) {
+	if store == nil {
+		b, err := BuildBank(pop, opts, seed)
+		return b, false, err
+	}
+	key := BankKeyForPopulation(pop, opts, seed)
+	built := false
+	b, err := store.GetOrBuild(key, func() (*Bank, error) {
+		built = true
+		return BuildBank(pop, opts, seed)
+	})
+	return b, !built && err == nil, err
+}

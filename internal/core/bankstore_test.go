@@ -1,0 +1,271 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"noisyeval/internal/data"
+	"noisyeval/internal/rng"
+)
+
+func storeBank(t *testing.T) *Bank {
+	t.Helper()
+	b, _ := tinyBank(t)
+	return b
+}
+
+func TestBankKeyStableAndSensitive(t *testing.T) {
+	spec := tinySpec()
+	opts := tinyBuildOptions()
+
+	base := BankKey(spec, opts, 7)
+	if base != BankKey(spec, opts, 7) {
+		t.Fatal("key not deterministic")
+	}
+
+	// Workers must not affect the key: bank content is independent of
+	// build parallelism (TestBuildBankDeterministicAcrossParallelism).
+	par := opts
+	par.Workers = 8
+	if BankKey(spec, par, 7) != base {
+		t.Error("worker count changed the key")
+	}
+
+	// Normalization must be applied before hashing: the zero Eta defaults
+	// to 3, so both spellings name the same bank.
+	norm := opts
+	norm.Eta = 0
+	if opts.Eta == 3 && BankKey(spec, norm, 7) != base {
+		t.Error("normalized and explicit defaults hash differently")
+	}
+
+	// Every content-bearing input must perturb the key.
+	perturbed := map[string]string{}
+	seed := BankKey(spec, opts, 8)
+	perturbed["seed"] = seed
+	oc := opts
+	oc.NumConfigs++
+	perturbed["numconfigs"] = BankKey(spec, oc, 7)
+	or := opts
+	or.MaxRounds++
+	perturbed["maxrounds"] = BankKey(spec, or, 7)
+	op := opts
+	op.Partitions = []float64{1}
+	perturbed["partitions"] = BankKey(spec, op, 7)
+	osp := opts
+	osp.Space.ServerLRMax *= 2
+	perturbed["space"] = BankKey(spec, osp, 7)
+	opool := opts
+	opool.Configs = osp.Space.SampleN(3, rng.New(2))
+	perturbed["pool"] = BankKey(spec, opool, 7)
+	sp := spec
+	sp.EvalClients++
+	perturbed["spec"] = BankKey(sp, opts, 7)
+	for field, key := range perturbed {
+		if key == base {
+			t.Errorf("changing %s did not change the key", field)
+		}
+	}
+}
+
+func TestBankKeyDistinguishesPopulations(t *testing.T) {
+	// Two populations generated from the SAME spec but different seeds hold
+	// different client data; their pop-bound keys must differ even though
+	// BankKey(spec, opts, seed) is identical.
+	spec := tinySpec()
+	opts := tinyBuildOptions()
+	popA := data.MustGenerate(spec, rng.New(1))
+	popB := data.MustGenerate(spec, rng.New(2))
+	keyA := BankKeyForPopulation(popA, opts, 7)
+	keyB := BankKeyForPopulation(popB, opts, 7)
+	if keyA == keyB {
+		t.Error("different populations collide on one cache key")
+	}
+	if keyA != BankKeyForPopulation(popA, opts, 7) {
+		t.Error("population key not deterministic")
+	}
+	// Regenerating the same population yields the same key (content hash,
+	// not pointer identity).
+	popA2 := data.MustGenerate(spec, rng.New(1))
+	if keyA != BankKeyForPopulation(popA2, opts, 7) {
+		t.Error("identical population content hashes differently")
+	}
+}
+
+func TestBankStoreMissThenHit(t *testing.T) {
+	b := storeBank(t)
+	store, err := NewBankStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := BankKey(tinySpec(), tinyBuildOptions(), 7)
+
+	if got, err := store.Get(key); err != nil || got != nil {
+		t.Fatalf("empty store Get = %v, %v; want miss", got, err)
+	}
+	if err := store.Put(key, b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := store.Get(key)
+	if err != nil || got == nil {
+		t.Fatalf("Get after Put = %v, %v", got, err)
+	}
+	if got.SpecName != b.SpecName || len(got.Configs) != len(b.Configs) {
+		t.Error("round-tripped bank differs")
+	}
+	for pi := range b.Errs {
+		for ci := range b.Errs[pi] {
+			for ri := range b.Errs[pi][ci] {
+				for k := range b.Errs[pi][ci][ri] {
+					if got.Errs[pi][ci][ri][k] != b.Errs[pi][ci][ri][k] {
+						t.Fatal("round-tripped errors differ")
+					}
+				}
+			}
+		}
+	}
+	st := store.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("stats = %+v, want 1 hit / 1 miss", st)
+	}
+}
+
+func TestBankStoreCorruptEntryEvicted(t *testing.T) {
+	b := storeBank(t)
+	store, err := NewBankStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := BankKey(tinySpec(), tinyBuildOptions(), 7)
+	if err := store.Put(key, b); err != nil {
+		t.Fatal(err)
+	}
+
+	// Truncate the entry: not valid gzip+gob any more.
+	if err := os.WriteFile(store.Path(key), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := store.Get(key)
+	if err != nil || got != nil {
+		t.Fatalf("corrupt Get = %v, %v; want clean miss", got, err)
+	}
+	if _, err := os.Stat(store.Path(key)); !os.IsNotExist(err) {
+		t.Error("corrupt entry not evicted")
+	}
+	if st := store.Stats(); st.Evicted != 1 {
+		t.Errorf("evicted = %d, want 1", st.Evicted)
+	}
+
+	// GetOrBuild recovers by rebuilding and re-storing.
+	builds := 0
+	got, err = store.GetOrBuild(key, func() (*Bank, error) {
+		builds++
+		return b, nil
+	})
+	if err != nil || got == nil || builds != 1 {
+		t.Fatalf("rebuild after corruption: bank=%v err=%v builds=%d", got != nil, err, builds)
+	}
+	if got, err = store.Get(key); err != nil || got == nil {
+		t.Fatal("entry not re-stored after rebuild")
+	}
+}
+
+func TestBankStoreGetOrBuildSingleflight(t *testing.T) {
+	b := storeBank(t)
+	store, err := NewBankStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := BankKey(tinySpec(), tinyBuildOptions(), 7)
+
+	var builds atomic.Int32
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got, err := store.GetOrBuild(key, func() (*Bank, error) {
+				builds.Add(1)
+				<-release // hold the build so the others must coalesce
+				return b, nil
+			})
+			if err != nil || got == nil {
+				t.Errorf("GetOrBuild = %v, %v", got != nil, err)
+			}
+		}()
+	}
+	// Wait for the builder to enter (it then blocks on release, so every
+	// other goroutine either coalesces on it or, arriving after the write,
+	// hits disk — neither path builds again).
+	for builds.Load() == 0 {
+		runtime.Gosched()
+	}
+	close(release)
+	wg.Wait()
+	if n := builds.Load(); n != 1 {
+		t.Errorf("build ran %d times, want 1", n)
+	}
+	// A later call hits disk without building.
+	got, err := store.GetOrBuild(key, func() (*Bank, error) {
+		t.Error("unexpected rebuild")
+		return nil, nil
+	})
+	if err != nil || got == nil {
+		t.Fatalf("warm GetOrBuild = %v, %v", got != nil, err)
+	}
+}
+
+func TestBankStorePutIsAtomic(t *testing.T) {
+	b := storeBank(t)
+	dir := t.TempDir()
+	store, err := NewBankStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Put("k", b); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := filepath.Glob(filepath.Join(dir, "*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0] != store.Path("k") {
+		t.Errorf("cache dir = %v, want only the final entry", entries)
+	}
+}
+
+func TestBuildBankCachedHitSkipsTraining(t *testing.T) {
+	pop := tinyPopCache
+	if pop == nil {
+		_, pop = tinyBank(t)
+	}
+	opts := tinyBuildOptions()
+	opts.NumConfigs = 3
+	opts.MaxRounds = 3
+	store, err := NewBankStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	b1, hit1, err := BuildBankCached(store, pop, opts, 11)
+	if err != nil || hit1 {
+		t.Fatalf("first build: hit=%v err=%v", hit1, err)
+	}
+	b2, hit2, err := BuildBankCached(store, pop, opts, 11)
+	if err != nil || !hit2 {
+		t.Fatalf("second build: hit=%v err=%v", hit2, err)
+	}
+	if len(b1.Configs) != len(b2.Configs) || b1.Seed != b2.Seed {
+		t.Error("cached bank differs from built bank")
+	}
+	// Nil store degrades to a plain build.
+	_, hit3, err := BuildBankCached(nil, pop, opts, 11)
+	if err != nil || hit3 {
+		t.Fatalf("nil store: hit=%v err=%v", hit3, err)
+	}
+}

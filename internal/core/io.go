@@ -4,6 +4,7 @@ import (
 	"compress/gzip"
 	"encoding/gob"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 )
@@ -41,7 +42,15 @@ func LoadBank(path string) (*Bank, error) {
 		return nil, fmt.Errorf("core: load bank: %w", err)
 	}
 	defer f.Close()
-	zr, err := gzip.NewReader(f)
+	return decodeBank(f)
+}
+
+// decodeBank reads one SaveBank encoding from r and validates it. A non-nil
+// error means the content itself is bad (truncation, bit rot, format drift)
+// — the BankStore uses this distinction to evict only genuinely corrupt
+// entries, never on transient open failures.
+func decodeBank(r io.Reader) (*Bank, error) {
+	zr, err := gzip.NewReader(r)
 	if err != nil {
 		return nil, fmt.Errorf("core: load bank: %w", err)
 	}

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"noisyeval/internal/core"
 	"noisyeval/internal/data"
@@ -133,26 +134,64 @@ func (c Config) spec(name string) data.Spec {
 
 // Suite holds the populations and banks every figure driver consumes. Build
 // it once (NewSuite) and reuse it across drivers; banks are built lazily and
-// cached.
+// cached. Accessors are safe for concurrent use, and distinct banks build
+// concurrently (the Scheduler relies on this to pipeline bank construction
+// with driver execution): the suite mutex only guards map bookkeeping, while
+// each population/bank carries its own once-guarded build slot.
 type Suite struct {
 	Cfg Config
 
+	// store, when set, is consulted before building any bank and receives
+	// every freshly built bank (content-addressed by core.BankKey).
+	store *core.BankStore
+
 	mu    sync.Mutex
-	pops  map[string]*data.Population
-	banks map[string]*core.Bank
+	pops  map[string]*popEntry
+	banks map[string]*bankEntry
 	pool  []fl.HParams // shared config pool across datasets
-	d13   map[string]*core.Bank
+
+	builds atomic.Int64 // banks actually trained (cache hits excluded)
+}
+
+type popEntry struct {
+	once sync.Once
+	pop  *data.Population
+}
+
+type bankEntry struct {
+	once sync.Once
+	bank *core.Bank
 }
 
 // NewSuite prepares a suite (populations and banks are created on demand).
 func NewSuite(cfg Config) *Suite {
 	return &Suite{
 		Cfg:   cfg,
-		pops:  map[string]*data.Population{},
-		banks: map[string]*core.Bank{},
-		d13:   map[string]*core.Bank{},
+		pops:  map[string]*popEntry{},
+		banks: map[string]*bankEntry{},
 	}
 }
+
+// SetStore attaches a content-addressed bank cache: Bank and DecadeBank
+// consult it before training and write every fresh bank through it. Attach
+// before the first bank access.
+func (s *Suite) SetStore(st *core.BankStore) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.store = st
+}
+
+// Store returns the attached bank cache (nil when none).
+func (s *Suite) Store() *core.BankStore {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.store
+}
+
+// BankBuilds returns how many banks this suite actually trained (loads from
+// the store or banks installed via SetBank do not count). cmd/figures uses
+// it to prove a warm-cache run did zero training.
+func (s *Suite) BankBuilds() int64 { return s.builds.Load() }
 
 // SharedPool returns the config pool shared by all dataset banks.
 func (s *Suite) SharedPool() []fl.HParams {
@@ -171,48 +210,69 @@ func (s *Suite) sharedPoolLocked() []fl.HParams {
 // Population returns (building if needed) the dataset population.
 func (s *Suite) Population(name string) *data.Population {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.populationLocked(name)
+	e, ok := s.pops[name]
+	if !ok {
+		e = &popEntry{}
+		s.pops[name] = e
+	}
+	s.mu.Unlock()
+	e.once.Do(func() {
+		e.pop = data.MustGenerate(s.Cfg.spec(name), rng.New(s.Cfg.Seed).Split("pop-"+name))
+	})
+	return e.pop
 }
 
-func (s *Suite) populationLocked(name string) *data.Population {
-	if p, ok := s.pops[name]; ok {
-		return p
+// bankFor resolves the once-guarded slot for key, running build inside the
+// slot's once. Distinct keys build concurrently; duplicate requests block on
+// the first builder.
+func (s *Suite) bankFor(key string, build func() *core.Bank) *core.Bank {
+	s.mu.Lock()
+	e, ok := s.banks[key]
+	if !ok {
+		e = &bankEntry{}
+		s.banks[key] = e
 	}
-	p := data.MustGenerate(s.Cfg.spec(name), rng.New(s.Cfg.Seed).Split("pop-"+name))
-	s.pops[name] = p
-	return p
+	s.mu.Unlock()
+	e.once.Do(func() { e.bank = build() })
+	return e.bank
+}
+
+// buildCached routes one bank build through the attached store (when any),
+// counting only actual training against BankBuilds.
+func (s *Suite) buildCached(label string, pop *data.Population, opts core.BuildOptions, seed uint64) *core.Bank {
+	b, hit, err := core.BuildBankCached(s.Store(), pop, opts, seed)
+	if err != nil {
+		panic(fmt.Sprintf("exper: bank %s: %v", label, err))
+	}
+	if !hit {
+		s.builds.Add(1)
+	}
+	return b
 }
 
 // Bank returns (building if needed) the dataset's config bank with
 // partitions p ∈ {0, 0.5, 1} and the shared pool.
 func (s *Suite) Bank(name string) *core.Bank {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if b, ok := s.banks[name]; ok {
-		return b
-	}
-	pop := s.populationLocked(name)
-	opts := core.DefaultBuildOptions()
-	opts.NumConfigs = s.Cfg.BankConfigs
-	opts.MaxRounds = s.Cfg.MaxRounds
-	opts.Partitions = []float64{0.5, 1}
-	opts.Workers = s.Cfg.Workers
-	opts.Configs = s.sharedPoolLocked()
-	b, err := core.BuildBank(pop, opts, s.Cfg.Seed+uint64(len(name)))
-	if err != nil {
-		panic(fmt.Sprintf("exper: bank %s: %v", name, err))
-	}
-	s.banks[name] = b
-	return b
+	return s.bankFor(name, func() *core.Bank {
+		pop := s.Population(name)
+		opts := core.DefaultBuildOptions()
+		opts.NumConfigs = s.Cfg.BankConfigs
+		opts.MaxRounds = s.Cfg.MaxRounds
+		opts.Partitions = []float64{0.5, 1}
+		opts.Workers = s.Cfg.Workers
+		opts.Configs = s.SharedPool()
+		return s.buildCached(name, pop, opts, s.Cfg.Seed+uint64(len(name)))
+	})
 }
 
 // SetBank installs a pre-built bank (cmd/figures loads banks built by
 // cmd/bank). The bank's pool becomes the shared pool if none is set yet.
 func (s *Suite) SetBank(name string, b *core.Bank) {
+	e := &bankEntry{bank: b}
+	e.once.Do(func() {}) // mark resolved
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.banks[name] = b
+	s.banks[name] = e
 	if s.pool == nil {
 		s.pool = b.Configs
 	}
@@ -222,23 +282,15 @@ func (s *Suite) SetBank(name string, b *core.Bank) {
 // sampled from the nested server-lr space.
 func (s *Suite) DecadeBank(name string, decades int) *core.Bank {
 	key := fmt.Sprintf("%s-d%d", name, decades)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if b, ok := s.d13[key]; ok {
-		return b
-	}
-	pop := s.populationLocked(name)
-	opts := core.DefaultBuildOptions()
-	opts.NumConfigs = s.Cfg.Fig13Configs
-	opts.MaxRounds = s.Cfg.MaxRounds
-	opts.Workers = s.Cfg.Workers
-	opts.Space = hpo.DefaultSpace().WithServerLRDecades(float64(decades))
-	b, err := core.BuildBank(pop, opts, s.Cfg.Seed+uint64(100+decades))
-	if err != nil {
-		panic(fmt.Sprintf("exper: decade bank %s: %v", key, err))
-	}
-	s.d13[key] = b
-	return b
+	return s.bankFor(key, func() *core.Bank {
+		pop := s.Population(name)
+		opts := core.DefaultBuildOptions()
+		opts.NumConfigs = s.Cfg.Fig13Configs
+		opts.MaxRounds = s.Cfg.MaxRounds
+		opts.Workers = s.Cfg.Workers
+		opts.Space = hpo.DefaultSpace().WithServerLRDecades(float64(decades))
+		return s.buildCached(key, pop, opts, s.Cfg.Seed+uint64(100+decades))
+	})
 }
 
 // Result is a rendered experiment outcome.

@@ -3,6 +3,7 @@ package exper
 import (
 	"fmt"
 	"math"
+	"os"
 	"strings"
 	"sync"
 	"testing"
@@ -16,11 +17,19 @@ var (
 )
 
 // quickSuite shares one miniature suite across the test binary (banks are
-// the expensive part; every driver reuses them).
+// the expensive part; every driver reuses them). When NOISYEVAL_CACHE_DIR is
+// set (CI persists it across runs), banks come from the content-addressed
+// store instead of being retrained — cached and fresh banks are identical,
+// so test outcomes don't depend on cache state.
 func quickSuite(t *testing.T) *Suite {
 	t.Helper()
 	quickSuiteOnce.Do(func() {
 		quickSuiteVal = NewSuite(Quick())
+		if dir := os.Getenv("NOISYEVAL_CACHE_DIR"); dir != "" {
+			if store, err := core.NewBankStore(dir); err == nil {
+				quickSuiteVal.SetStore(store)
+			}
+		}
 	})
 	return quickSuiteVal
 }

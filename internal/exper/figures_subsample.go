@@ -255,7 +255,7 @@ func Figure9(s *Suite) Result {
 func Figure13(s *Suite) Result {
 	res := Result{ID: "figure13", Title: "Figure 13: search-space width vs noise (Appendix C)"}
 	res.CSVHeader = []string{"dataset", "decades", "setting", "median_err_pct", "q1_pct", "q3_pct"}
-	decades := []int{1, 2, 3, 4}
+	decades := fig13Decades
 	for _, name := range s.Cfg.Fig13Datasets {
 		clean := plot.Series{Label: "noiseless"}
 		noisy := plot.Series{Label: "noisy (1 client, eps=10)"}

@@ -55,35 +55,3 @@ func TableDatasets(s *Suite) Result {
 	res.Lines = tbl.Render()
 	return res
 }
-
-// AllFigures runs every figure/table driver in paper order. Used by
-// cmd/figures; each entry is independent so callers can select subsets.
-func AllFigures() map[string]func(*Suite) Result {
-	return map[string]func(*Suite) Result{
-		"table1":   TableDatasets,
-		"figure1":  Figure1,
-		"figure3":  Figure3,
-		"figure4":  Figure4,
-		"figure5":  Figure5,
-		"figure6":  Figure6,
-		"figure7":  Figure7,
-		"figure8":  Figure8,
-		"figure9":  Figure9,
-		"figure10": Figure10,
-		"figure11": Figure11,
-		"figure12": Figure12,
-		"figure13": Figure13,
-		"figure14": Figure14,
-		"figure15": Figure15,
-		"figure16": Figure16,
-	}
-}
-
-// FigureOrder lists driver ids in presentation order.
-func FigureOrder() []string {
-	return []string{
-		"table1", "figure1", "figure3", "figure4", "figure5", "figure6",
-		"figure7", "figure8", "figure9", "figure10", "figure11", "figure12",
-		"figure13", "figure14", "figure15", "figure16",
-	}
-}

@@ -107,6 +107,11 @@ type (
 	BankOracle = core.BankOracle
 	// LiveOracle trains configurations on demand.
 	LiveOracle = core.LiveOracle
+	// BankStore is the content-addressed on-disk bank cache (entries keyed
+	// by BankKey, written atomically, corrupt entries evicted on load).
+	BankStore = core.BankStore
+	// StoreStats reports BankStore cache-effectiveness counters.
+	StoreStats = core.StoreStats
 	// Tuner couples a method, space, and settings.
 	Tuner = core.Tuner
 	// Noise describes a combined evaluation-noise setting.
@@ -145,14 +150,19 @@ var (
 
 // Bank/orchestration constructors.
 var (
-	DefaultBuildOptions = core.DefaultBuildOptions
-	BuildBank           = core.BuildBank
-	SaveBank            = core.SaveBank
-	LoadBank            = core.LoadBank
-	NewBankOracle       = core.NewBankOracle
-	NewLiveOracle       = core.NewLiveOracle
-	FinalErrors         = core.FinalErrors
-	NoiselessSetting    = core.Noiseless
+	DefaultBuildOptions   = core.DefaultBuildOptions
+	BuildBank             = core.BuildBank
+	BuildBankCached       = core.BuildBankCached
+	NewBankStore          = core.NewBankStore
+	BankKey               = core.BankKey
+	BankKeyForPopulation  = core.BankKeyForPopulation
+	PopulationFingerprint = core.PopulationFingerprint
+	SaveBank              = core.SaveBank
+	LoadBank              = core.LoadBank
+	NewBankOracle         = core.NewBankOracle
+	NewLiveOracle         = core.NewLiveOracle
+	FinalErrors           = core.FinalErrors
+	NoiselessSetting      = core.Noiseless
 )
 
 // TailError returns the q-th percentile per-client error (tail performance,
