@@ -1,16 +1,19 @@
 # Local runs and CI invoke the same targets (.github/workflows/ci.yml).
 #
-#   make build   compile everything
-#   make lint    gofmt + go vet
-#   make test    full test suite (bank cache at $(CACHE_DIR))
-#   make race    race-detector run over the concurrency-heavy packages
-#   make bench   benchmark smoke run -> bench.out + BENCH_smoke.json
-#   make figures quick-scale figure regeneration through the bank cache
+#   make build       compile everything
+#   make lint        gofmt + go vet
+#   make test        full test suite (bank cache at $(CACHE_DIR))
+#   make race        race-detector run over the concurrency-heavy packages
+#   make bench       benchmark smoke run -> bench.out + BENCH_smoke.json
+#   make bench-json  gated hot-path benchmarks -> BENCH_latest.json
+#   make bench-check bench-json + fail on >25% ns/op regression vs
+#                    the committed BENCH_baseline.json (tools/benchdiff)
+#   make figures     quick-scale figure regeneration through the bank cache
 
 GO        ?= go
 CACHE_DIR ?= $(HOME)/.cache/noisyeval-banks
 
-.PHONY: build lint test race bench figures clean
+.PHONY: build lint test race bench bench-json bench-check figures clean
 
 build:
 	$(GO) build ./...
@@ -31,9 +34,22 @@ bench:
 	NOISYEVAL_CACHE_DIR=$(CACHE_DIR) $(GO) test -bench=. -benchtime=1x -run '^$$' . | tee bench.out
 	$(GO) run ./tools/bench2json < bench.out > BENCH_smoke.json
 
+# The gated benchmarks run at a real -benchtime (unlike the 1x smoke pass)
+# so their ns/op is stable enough to diff against the committed baseline.
+bench-json:
+	$(GO) test -bench 'BenchmarkFederatedRound$$|BenchmarkBankBuild$$' -benchmem -benchtime 2s -run '^$$' . | tee bench-gated.out
+	$(GO) run ./tools/bench2json < bench-gated.out > BENCH_latest.json
+
+# ns/op gates at 25% over the committed (pre-batching) baseline per
+# ISSUE/CI policy; the allocs/op gate is machine-independent and pins the
+# batched engine's >=10x allocation win (6202 -> 0 per round) permanently.
+bench-check: bench-json
+	$(GO) run ./tools/benchdiff -baseline BENCH_baseline.json -latest BENCH_latest.json \
+		-bench BenchmarkFederatedRound,BenchmarkBankBuild -max-regress 0.25 -max-allocs-frac 0.1
+
 figures:
 	$(GO) run ./cmd/figures -quick -cache-dir $(CACHE_DIR) -out results
 
 clean:
-	rm -f bench.out BENCH_smoke.json
+	rm -f bench.out bench-gated.out BENCH_smoke.json BENCH_latest.json
 	rm -rf results

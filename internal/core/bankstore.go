@@ -15,12 +15,16 @@ import (
 
 // bankKeyVersion is bumped whenever the bank encoding or the meaning of any
 // hashed field changes, invalidating all previously cached entries.
-const bankKeyVersion = "bankstore-v1"
+// v2: BuildOptions.BatchEval joined the key (the batched engine's summation
+// order legitimately changes recorded errors).
+const bankKeyVersion = "bankstore-v2"
 
 // normalizeBuildOptions applies the same defaulting BuildBank performs, so
 // that two option values which build identical banks hash identically.
 // Workers is zeroed: parallelism does not affect bank content
-// (TestBuildBankDeterministicAcrossParallelism).
+// (TestBuildBankDeterministicAcrossParallelism). Train.BatchEval is forced
+// to the authoritative BuildOptions.BatchEval so the two spellings of the
+// knob can never produce distinct keys for the same build.
 func normalizeBuildOptions(opts BuildOptions) BuildOptions {
 	if opts.Eta < 2 {
 		opts.Eta = 3
@@ -31,6 +35,7 @@ func normalizeBuildOptions(opts BuildOptions) BuildOptions {
 	if opts.Train.ClientsPerRound == 0 {
 		opts.Train = DefaultBuildOptions().Train
 	}
+	opts.Train.BatchEval = opts.BatchEval
 	if err := opts.Space.Validate(); err != nil {
 		opts.Space = DefaultBuildOptions().Space
 	}
@@ -52,6 +57,7 @@ func BankKey(spec data.Spec, opts BuildOptions, seed uint64) string {
 		opts.NumConfigs, opts.MaxRounds, opts.Eta, opts.Levels)
 	fmt.Fprintf(h, "partitions %v\n", opts.Partitions)
 	fmt.Fprintf(h, "train %#v\n", opts.Train)
+	fmt.Fprintf(h, "batcheval %v\n", opts.BatchEval)
 	fmt.Fprintf(h, "space %#v\n", opts.Space)
 	fmt.Fprintf(h, "pool %d\n", len(opts.Configs))
 	for _, c := range opts.Configs {

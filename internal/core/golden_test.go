@@ -1,0 +1,177 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"testing"
+
+	"noisyeval/internal/data"
+	"noisyeval/internal/fl"
+	"noisyeval/internal/rng"
+)
+
+// The constants below were recorded by running the pre-refactor per-sample
+// training engine (the seed code path, before the batched engine landed) on
+// the exact populations and options constructed in the tests. They pin the
+// BatchEval=false contract: the per-sample engine — including the in-place
+// optimizer steps, reused SGD state, and allocation-free RNG splits that
+// replaced its internals — must keep producing byte-identical banks, or
+// every previously cached artifact silently loses its meaning.
+const (
+	goldenImageBankHash = "34a46f7f94b37931d5f4d08a3ca9fe4dfb974c6b5a382c8abacf394e6140f333"
+	goldenTextBankHash  = "00cb380e80f40ced97ac9a37d84e857dbe6140e1f95cae9073c3d85d541b1b0c"
+	goldenTrainerHash   = "903447d28d0ae7adb2b04af6cdc04ca0e1bdc250064c04ab375cd1beee4b8989"
+)
+
+func hashFloats(h interface{ Write([]byte) (int, error) }, xs []float64) {
+	var buf [8]byte
+	for _, x := range xs {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(x))
+		h.Write(buf[:])
+	}
+}
+
+// hashBankContent hashes every numeric field of the bank in a fixed order.
+func hashBankContent(b *Bank) string {
+	h := sha256.New()
+	var buf [8]byte
+	wi := func(x int) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(x))
+		h.Write(buf[:])
+	}
+	for _, c := range b.Configs {
+		hashFloats(h, []float64{c.ServerLR, c.Beta1, c.Beta2, c.LRDecay, c.ClientLR, c.ClientMomentum, c.WeightDecay})
+		wi(c.BatchSize)
+		wi(c.Epochs)
+	}
+	for _, r := range b.Rounds {
+		wi(r)
+	}
+	hashFloats(h, b.Partitions)
+	for pi := range b.Errs {
+		for ci := range b.Errs[pi] {
+			for ri := range b.Errs[pi][ci] {
+				hashFloats(h, b.Errs[pi][ci][ri])
+			}
+		}
+	}
+	for _, d := range b.Diverged {
+		if d {
+			h.Write([]byte{1})
+		} else {
+			h.Write([]byte{0})
+		}
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
+func goldenImagePop(t testing.TB) *data.Population {
+	t.Helper()
+	spec := data.CIFAR10Like().Scaled(0.06, 0)
+	spec.MeanExamples, spec.MinExamples, spec.MaxExamples = 20, 15, 25
+	pop, err := data.Generate(spec, rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pop
+}
+
+// TestPerSampleBankBitIdentical is the end-to-end byte-identity test: a
+// BatchEval=false bank build must reproduce the pre-refactor seed path's
+// recorded errors bit for bit, on both task families.
+func TestPerSampleBankBitIdentical(t *testing.T) {
+	opts := DefaultBuildOptions()
+	opts.NumConfigs = 3
+	opts.MaxRounds = 9
+	opts.Partitions = []float64{0.5}
+	opts.BatchEval = false
+	b, err := BuildBank(goldenImagePop(t), opts, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := hashBankContent(b); got != goldenImageBankHash {
+		t.Errorf("image bank content drifted from the pre-refactor engine:\n got %s\nwant %s", got, goldenImageBankHash)
+	}
+
+	txt := data.StackOverflowLike().Scaled(0.004, 30)
+	popT, err := data.Generate(txt, rng.New(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	optsT := DefaultBuildOptions()
+	optsT.NumConfigs = 2
+	optsT.MaxRounds = 9
+	optsT.BatchEval = false
+	bT, err := BuildBank(popT, optsT, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := hashBankContent(bT); got != goldenTextBankHash {
+		t.Errorf("text bank content drifted from the pre-refactor engine:\n got %s\nwant %s", got, goldenTextBankHash)
+	}
+}
+
+// TestPerSampleTrainerBitIdentical pins the trainer weights themselves (a
+// sharper check than recorded error rates, which could mask compensating
+// drift).
+func TestPerSampleTrainerBitIdentical(t *testing.T) {
+	hp := fl.HParams{ServerLR: 0.01, Beta1: 0.9, Beta2: 0.99, ClientLR: 0.1, ClientMomentum: 0.5, BatchSize: 8}
+	opts := fl.DefaultOptions()
+	opts.BatchEval = false
+	tr, err := fl.NewTrainer(goldenImagePop(t), hp, opts, rng.New(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.TrainTo(5)
+	h := sha256.New()
+	hashFloats(h, tr.Weights())
+	if got := fmt.Sprintf("%x", h.Sum(nil)); got != goldenTrainerHash {
+		t.Errorf("per-sample trainer weights drifted from the pre-refactor engine:\n got %s\nwant %s", got, goldenTrainerHash)
+	}
+}
+
+// TestBatchEvalChangesCacheKey verifies the knob participates in the bank
+// content address (batched numerics must never be served for a per-sample
+// request or vice versa), while Workers stays excluded.
+func TestBatchEvalChangesCacheKey(t *testing.T) {
+	spec := data.CIFAR10Like()
+	a := DefaultBuildOptions()
+	b := DefaultBuildOptions()
+	b.BatchEval = false
+	if BankKey(spec, a, 1) == BankKey(spec, b, 1) {
+		t.Error("BatchEval flip did not change the bank key")
+	}
+	c := DefaultBuildOptions()
+	c.Workers = 7
+	if BankKey(spec, a, 1) != BankKey(spec, c, 1) {
+		t.Error("Workers changed the bank key; parallelism must not affect content addressing")
+	}
+}
+
+// TestBatchedBankDeterministicAcrossWorkers verifies the batched engine
+// keeps BuildBank deterministic in (pop, opts, seed) and independent of the
+// worker count.
+func TestBatchedBankDeterministicAcrossWorkers(t *testing.T) {
+	pop := goldenImagePop(t)
+	opts := DefaultBuildOptions()
+	opts.NumConfigs = 3
+	opts.MaxRounds = 9
+	build := func(workers int) string {
+		o := opts
+		o.Workers = workers
+		b, err := BuildBank(pop, o, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return hashBankContent(b)
+	}
+	h1, h4 := build(1), build(4)
+	if h1 != h4 {
+		t.Errorf("batched bank content differs across worker counts: %s vs %s", h1, h4)
+	}
+	if h1 != build(1) {
+		t.Error("batched bank build is not deterministic for a fixed worker count")
+	}
+}

@@ -3,8 +3,7 @@
 // with a shared config pool) and returns a Result holding the series the
 // paper reports plus a text rendering; cmd/figures writes these to disk.
 //
-// See DESIGN.md §4 for the experiment index and EXPERIMENTS.md for
-// paper-vs-measured outcomes.
+// See DESIGN.md §4 for the experiment index.
 package exper
 
 import (

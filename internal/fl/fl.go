@@ -85,15 +85,28 @@ type Options struct {
 	// diverge and collapse to degenerate predictors (the lower-right points
 	// of Figure 7); 0 (the default) preserves that behaviour.
 	ClipNorm float64
+	// BatchEval selects the batched training engine: each minibatch runs as
+	// one GEMM forward/backward and client evaluation is batched too. The
+	// per-example arithmetic is equivalent but summation order differs, so
+	// results are close but not bitwise equal to the per-sample path; banks
+	// key on this flag (core.BankKey). false reproduces the original
+	// per-sample engine bit for bit.
+	BatchEval bool
 }
 
-// DefaultOptions returns the paper's settings.
+// DefaultOptions returns the paper's settings on the batched engine.
 func DefaultOptions() Options {
-	return Options{ClientsPerRound: 10, WeightedAggregation: true}
+	return Options{ClientsPerRound: 10, WeightedAggregation: true, BatchEval: true}
 }
 
 // Trainer runs federated training of one configuration on one population.
 // It is not safe for concurrent use; run one Trainer per goroutine.
+//
+// The trainer owns every buffer the round loop touches — optimizer state,
+// RNG children, cohort/permutation scratch, minibatch assembly — so
+// steady-state training performs no per-round heap allocation: client steps
+// run in place over the model's contiguous parameter storage (nn.ParamsVec)
+// rather than flattening weights and gradients into scratch vectors.
 type Trainer struct {
 	Pop  *data.Population
 	HP   HParams
@@ -101,14 +114,23 @@ type Trainer struct {
 
 	model     *nn.Network
 	serverOpt *opt.Adam
+	clientOpt *opt.SGD   // reused across clients; Reset starts each local solve
 	weights   tensor.Vec // current server weights w
-	scratchW  tensor.Vec // client-local weights
-	scratchG  tensor.Vec // client-local gradient
 	delta     tensor.Vec // aggregated pseudo-gradient
 	sumW      tensor.Vec // weighted sum of client weights
 	round     int
 	diverged  bool
 	rng       *rng.RNG
+
+	roundRNG  *rng.RNG // reusable child stream for cohort sampling
+	clientRNG *rng.RNG // reusable child stream for per-client shuffles
+	cohortBuf []int    // scratch for cohort sampling (len == #train clients)
+	permBuf   []int    // scratch for per-client example permutations
+
+	xBatch   tensor.Mat // minibatch feature assembly (dense tasks)
+	ctxBatch [][]int    // minibatch token contexts (text tasks)
+	labelBuf []int      // minibatch labels
+	predBuf  []int      // batched evaluation predictions
 }
 
 // NewTrainer initialises a trainer with model weights drawn from g's
@@ -127,17 +149,22 @@ func NewTrainer(pop *data.Population, hp HParams, opts Options, g *rng.RNG) (*Tr
 	}
 	model := pop.NewModel(g.Split("init"))
 	dim := model.NumWeights()
+	clientOpt := opt.NewSGD(dim, hp.ClientLR, hp.ClientMomentum, hp.WeightDecay)
+	clientOpt.ClipNorm = opts.ClipNorm
 	t := &Trainer{
 		Pop: pop, HP: hp, Opts: opts,
 		model:     model,
 		serverOpt: opt.NewAdam(dim, hp.ServerLR, hp.Beta1, hp.Beta2, 1e-8, hp.LRDecay),
+		clientOpt: clientOpt,
 		weights:   tensor.NewVec(dim),
-		scratchW:  tensor.NewVec(dim),
-		scratchG:  tensor.NewVec(dim),
 		delta:     tensor.NewVec(dim),
 		sumW:      tensor.NewVec(dim),
 		rng:       g.Split("train"),
+		roundRNG:  rng.New(0),
+		clientRNG: rng.New(0),
+		cohortBuf: make([]int, len(pop.Train)),
 	}
+	t.rng.Path() // materialize once so hot-path splits stay allocation-free
 	model.FlattenParams(t.weights)
 	return t, nil
 }
@@ -155,7 +182,8 @@ func (t *Trainer) Round() {
 	if cohortSize > len(t.Pop.Train) {
 		cohortSize = len(t.Pop.Train)
 	}
-	cohort := t.rng.Splitf("round-%d", t.round).SampleWithoutReplacement(len(t.Pop.Train), cohortSize)
+	t.rng.SplitIntInto(t.roundRNG, "round-", t.round)
+	cohort := t.roundRNG.SampleWithoutReplacementInto(len(t.Pop.Train), cohortSize, t.cohortBuf)
 
 	t.sumW.Zero()
 	totalWeight := 0.0
@@ -169,7 +197,8 @@ func (t *Trainer) Round() {
 		if t.Opts.WeightedAggregation {
 			weight = float64(len(client.Examples))
 		}
-		t.sumW.Axpy(weight, t.scratchW)
+		// The client's trained weights live in the model's own storage.
+		t.sumW.Axpy(weight, t.model.ParamsVec())
 		totalWeight += weight
 	}
 	if totalWeight == 0 {
@@ -189,15 +218,26 @@ func (t *Trainer) Round() {
 
 // localTrain runs the client's local solve (ClientOPT): Epochs passes of
 // minibatch SGD with momentum and weight decay starting from the server
-// weights. The result is left in t.scratchW.
+// weights. The trained weights are left in the model's parameter storage.
+//
+// Every step runs in place over the model's flat parameter and gradient
+// views — the per-step FlattenGrads/FlattenParams/SetParams full-vector
+// copies of the original engine are gone on both the batched and the
+// per-sample path (the in-place form performs the identical elementwise
+// arithmetic, so the per-sample path stays bit-compatible with seed banks).
 func (t *Trainer) localTrain(client *data.Client) {
-	copy(t.scratchW, t.weights)
-	t.model.SetParams(t.scratchW)
-	sgd := opt.NewSGD(len(t.scratchW), t.HP.ClientLR, t.HP.ClientMomentum, t.HP.WeightDecay)
-	sgd.ClipNorm = t.Opts.ClipNorm
+	w, g := t.model.ParamsVec(), t.model.GradsVec()
+	copy(w, t.weights)
+	t.clientOpt.Reset()
 
 	n := len(client.Examples)
-	order := t.rng.Splitf("client-%d-round-%d", client.ID, t.round).Perm(n)
+	t.rng.SplitInt2Into(t.clientRNG, "client-", client.ID, "-round-", t.round)
+	if cap(t.permBuf) < n {
+		t.permBuf = make([]int, n)
+	}
+	order := t.permBuf[:n]
+	t.clientRNG.PermInto(order)
+
 	b := t.HP.BatchSize
 	for epoch := 0; epoch < t.HP.Epochs; epoch++ {
 		for start := 0; start < n; start += b {
@@ -206,18 +246,48 @@ func (t *Trainer) localTrain(client *data.Client) {
 				end = n
 			}
 			t.model.ZeroGrad()
-			for _, i := range order[start:end] {
-				ex := client.Examples[i]
-				t.model.LossAndBackward(ex.Input(), ex.Label)
+			if t.Opts.BatchEval {
+				t.trainStepBatched(client, order[start:end])
+			} else {
+				for _, i := range order[start:end] {
+					ex := client.Examples[i]
+					t.model.LossAndBackward(ex.Input(), ex.Label)
+				}
 			}
-			t.model.FlattenGrads(t.scratchG)
-			t.scratchG.Scale(1 / float64(end-start))
-			t.model.FlattenParams(t.scratchW)
-			sgd.Step(t.scratchW, t.scratchG)
-			t.model.SetParams(t.scratchW)
+			g.Scale(1 / float64(end-start))
+			t.clientOpt.Step(w, g)
 		}
 	}
-	t.model.FlattenParams(t.scratchW)
+}
+
+// trainStepBatched assembles one minibatch into the trainer's reused buffers
+// and runs a single batched forward/backward over it.
+func (t *Trainer) trainStepBatched(client *data.Client, idxs []int) {
+	bsz := len(idxs)
+	if cap(t.labelBuf) < bsz {
+		t.labelBuf = make([]int, bsz)
+	}
+	labels := t.labelBuf[:bsz]
+	if t.model.Embed != nil {
+		if cap(t.ctxBatch) < bsz {
+			t.ctxBatch = make([][]int, bsz)
+		}
+		ctx := t.ctxBatch[:bsz]
+		for j, i := range idxs {
+			ex := &client.Examples[i]
+			ctx[j] = ex.Tokens // contexts alias client data; no copy needed
+			labels[j] = ex.Label
+		}
+		t.model.LossAndBackwardBatch(nil, ctx, labels)
+		return
+	}
+	t.xBatch.Resize(bsz, len(client.Examples[idxs[0]].Features))
+	for j, i := range idxs {
+		ex := &client.Examples[i]
+		copy(t.xBatch.Row(j), ex.Features)
+		labels[j] = ex.Label
+	}
+	t.model.LossAndBackwardBatch(&t.xBatch, nil, labels)
 }
 
 // TrainTo advances training to the given round (no-op if already there).
@@ -240,6 +310,9 @@ func (t *Trainer) Diverged() bool { return t.diverged }
 // Weights returns a copy of the current server weights.
 func (t *Trainer) Weights() tensor.Vec { return t.weights.Clone() }
 
+// evalBatch is the chunk size for batched client evaluation.
+const evalBatch = 128
+
 // EvalClient returns the current model's error rate on one client's data
 // (F_val,k in Eq. 2). A diverged model predicts class 0 on every example.
 func (t *Trainer) EvalClient(client *data.Client) float64 {
@@ -256,22 +329,83 @@ func (t *Trainer) EvalClient(client *data.Client) float64 {
 		return float64(wrong) / float64(len(client.Examples))
 	}
 	t.model.SetParams(t.weights)
+	return t.evalClientErr(client)
+}
+
+// evalClientErr evaluates one client assuming the model already holds the
+// server weights and training has not diverged.
+func (t *Trainer) evalClientErr(client *data.Client) float64 {
 	wrong := 0
-	for _, ex := range client.Examples {
-		if t.model.Predict(ex.Input()) != ex.Label {
-			wrong++
+	if t.Opts.BatchEval {
+		wrong = t.evalWrongBatched(client)
+	} else {
+		for _, ex := range client.Examples {
+			if t.model.Predict(ex.Input()) != ex.Label {
+				wrong++
+			}
 		}
 	}
 	return float64(wrong) / float64(len(client.Examples))
 }
 
+// evalWrongBatched counts misclassifications with batched forward passes
+// over evalBatch-sized chunks of the client's examples.
+func (t *Trainer) evalWrongBatched(client *data.Client) int {
+	exs := client.Examples
+	wrong := 0
+	for start := 0; start < len(exs); start += evalBatch {
+		end := start + evalBatch
+		if end > len(exs) {
+			end = len(exs)
+		}
+		bsz := end - start
+		if cap(t.predBuf) < bsz {
+			t.predBuf = make([]int, bsz)
+		}
+		preds := t.predBuf[:bsz]
+		if t.model.Embed != nil {
+			if cap(t.ctxBatch) < bsz {
+				t.ctxBatch = make([][]int, bsz)
+			}
+			ctx := t.ctxBatch[:bsz]
+			for j := 0; j < bsz; j++ {
+				ctx[j] = exs[start+j].Tokens
+			}
+			t.model.PredictBatch(nil, ctx, preds)
+		} else {
+			t.xBatch.Resize(bsz, len(exs[start].Features))
+			for j := 0; j < bsz; j++ {
+				copy(t.xBatch.Row(j), exs[start+j].Features)
+			}
+			t.model.PredictBatch(&t.xBatch, nil, preds)
+		}
+		for j := 0; j < bsz; j++ {
+			if preds[j] != exs[start+j].Label {
+				wrong++
+			}
+		}
+	}
+	return wrong
+}
+
 // EvalClients returns the per-client error vector over a client pool. This
 // vector is the raw material for every noisy-evaluation model in the study
-// (subsampling, reweighting, biased selection, DP perturbation).
+// (subsampling, reweighting, biased selection, DP perturbation). The server
+// weights are loaded into the model once for the whole pool.
 func (t *Trainer) EvalClients(clients []*data.Client) []float64 {
 	errs := make([]float64, len(clients))
+	if t.diverged {
+		for i, c := range clients {
+			errs[i] = t.EvalClient(c)
+		}
+		return errs
+	}
+	t.model.SetParams(t.weights)
 	for i, c := range clients {
-		errs[i] = t.EvalClient(c)
+		if len(c.Examples) == 0 {
+			continue
+		}
+		errs[i] = t.evalClientErr(c)
 	}
 	return errs
 }
@@ -292,19 +426,25 @@ func WeightedError(errs, weights []float64, subset []int) float64 {
 	if len(errs) != len(weights) {
 		panic(fmt.Sprintf("fl: WeightedError lengths differ: %d vs %d", len(errs), len(weights)))
 	}
-	if subset == nil {
-		subset = make([]int, len(errs))
-		for i := range subset {
-			subset[i] = i
-		}
-	}
-	if len(subset) == 0 {
-		panic("fl: WeightedError over empty subset")
-	}
 	num, den := 0.0, 0.0
-	for _, k := range subset {
-		num += weights[k] * errs[k]
-		den += weights[k]
+	if subset == nil {
+		// All clients: iterate directly instead of materializing an index
+		// slice — this sits inside every oracle evaluation.
+		if len(errs) == 0 {
+			panic("fl: WeightedError over empty subset")
+		}
+		for k, w := range weights {
+			num += w * errs[k]
+			den += w
+		}
+	} else {
+		if len(subset) == 0 {
+			panic("fl: WeightedError over empty subset")
+		}
+		for _, k := range subset {
+			num += weights[k] * errs[k]
+			den += weights[k]
+		}
 	}
 	if den == 0 {
 		panic("fl: WeightedError zero total weight")

@@ -1,0 +1,106 @@
+package nn
+
+import (
+	"fmt"
+	"testing"
+
+	"noisyeval/internal/rng"
+	"noisyeval/internal/tensor"
+)
+
+// Micro-benchmarks for the batched kernels, swept over the batch sizes the
+// study's client HP grid actually uses (plus batch=1, the per-sample
+// degenerate case). Run with -benchmem: steady-state allocs/op must be 0,
+// and TestBatchSteadyStateAllocs asserts that same number in the regular
+// test suite so it is tracked, not just observable.
+
+var benchSink float64
+
+// BenchmarkLinearForwardBatch measures the batched Linear forward (X·Wᵀ+b)
+// at the study's MLP shape (24 -> 48).
+func BenchmarkLinearForwardBatch(b *testing.B) {
+	for _, bsz := range []int{1, 32, 128} {
+		b.Run(fmt.Sprintf("batch%d", bsz), func(b *testing.B) {
+			g := rng.New(1)
+			l := NewLinear(24, 48, g.Split("l"))
+			X := tensor.NewMat(bsz, 24)
+			for i := range X.Data {
+				X.Data[i] = g.Normal(0, 1)
+			}
+			l.ForwardBatch(X) // warm workspaces
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				out := l.ForwardBatch(X)
+				benchSink = out.Data[0]
+			}
+		})
+	}
+}
+
+// BenchmarkLossBackwardBatch measures the full batched training step kernel
+// chain — forward, row-wise softmax cross-entropy, backward — on the
+// study's 2-layer MLP (24 -> 48 -> 10).
+func BenchmarkLossBackwardBatch(b *testing.B) {
+	for _, bsz := range []int{1, 32, 128} {
+		b.Run(fmt.Sprintf("batch%d", bsz), func(b *testing.B) {
+			g := rng.New(2)
+			net := NewMLP(24, 48, 10, g.Split("net"))
+			X := tensor.NewMat(bsz, 24)
+			for i := range X.Data {
+				X.Data[i] = g.Normal(0, 1)
+			}
+			labels := make([]int, bsz)
+			for i := range labels {
+				labels[i] = g.IntN(10)
+			}
+			net.ZeroGrad()
+			net.LossAndBackwardBatch(X, nil, labels) // warm workspaces
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				net.ZeroGrad()
+				benchSink = net.LossAndBackwardBatch(X, nil, labels)
+			}
+		})
+	}
+}
+
+// BenchmarkLossBackwardBatchText is the text-model variant (EmbeddingBag
+// front-end), whose backward ends in the embedding scatter-add.
+func BenchmarkLossBackwardBatchText(b *testing.B) {
+	for _, bsz := range []int{1, 32, 128} {
+		b.Run(fmt.Sprintf("batch%d", bsz), func(b *testing.B) {
+			g := rng.New(3)
+			net := NewTextNet(200, 16, 48, g.Split("net"))
+			ctx, labels := tokenBatch(bsz, 200, 8, g)
+			net.ZeroGrad()
+			net.LossAndBackwardBatch(nil, ctx, labels)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				net.ZeroGrad()
+				benchSink = net.LossAndBackwardBatch(nil, ctx, labels)
+			}
+		})
+	}
+}
+
+// BenchmarkPerSampleLossBackward is the per-sample reference at the same
+// MLP shape, for direct comparison with BenchmarkLossBackwardBatch/batch1
+// and the batched sweep.
+func BenchmarkPerSampleLossBackward(b *testing.B) {
+	g := rng.New(4)
+	net := NewMLP(24, 48, 10, g.Split("net"))
+	x := tensor.NewVec(24)
+	for i := range x {
+		x[i] = g.Normal(0, 1)
+	}
+	in := Input{Features: x}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.ZeroGrad()
+		benchSink = net.LossAndBackward(in, 3)
+	}
+}

@@ -30,11 +30,16 @@ type Input struct {
 
 // Param is one trainable tensor with its gradient accumulator. W and G are
 // flat storage; Rows/Cols describe the logical matrix shape (Cols == 0 for a
-// vector such as a bias).
+// vector such as a bias). Inside a Network, W and G are subslices of one
+// contiguous arena per network (see NewNetwork), which is what lets the
+// federated client loop run optimizer steps in place over the model's own
+// storage instead of flattening into scratch vectors.
 type Param struct {
 	Name       string
 	Rows, Cols int
 	W, G       tensor.Vec
+
+	mat, gmat tensor.Mat // cached views over W/G, refreshed on rebase
 }
 
 func newParam(name string, rows, cols int) *Param {
@@ -42,7 +47,17 @@ func newParam(name string, rows, cols int) *Param {
 	if cols > 0 {
 		n = rows * cols
 	}
-	return &Param{Name: name, Rows: rows, Cols: cols, W: tensor.NewVec(n), G: tensor.NewVec(n)}
+	p := &Param{Name: name, Rows: rows, Cols: cols, W: tensor.NewVec(n), G: tensor.NewVec(n)}
+	p.refreshViews()
+	return p
+}
+
+// refreshViews rebuilds the cached matrix views after W/G are repointed.
+func (p *Param) refreshViews() {
+	if p.Cols > 0 {
+		p.mat = tensor.Mat{Rows: p.Rows, Cols: p.Cols, Data: p.W}
+		p.gmat = tensor.Mat{Rows: p.Rows, Cols: p.Cols, Data: p.G}
+	}
 }
 
 // Size returns the number of scalar weights in the parameter.
@@ -53,7 +68,7 @@ func (p *Param) Mat() *tensor.Mat {
 	if p.Cols == 0 {
 		panic(fmt.Sprintf("nn: param %s is a vector", p.Name))
 	}
-	return &tensor.Mat{Rows: p.Rows, Cols: p.Cols, Data: p.W}
+	return &p.mat
 }
 
 // GradMat returns a matrix view over G.
@@ -61,7 +76,7 @@ func (p *Param) GradMat() *tensor.Mat {
 	if p.Cols == 0 {
 		panic(fmt.Sprintf("nn: param %s is a vector", p.Name))
 	}
-	return &tensor.Mat{Rows: p.Rows, Cols: p.Cols, Data: p.G}
+	return &p.gmat
 }
 
 // Layer is a differentiable transform of a dense vector. Forward must be
@@ -88,6 +103,9 @@ type Linear struct {
 	in   tensor.Vec // retained input
 	out  tensor.Vec
 	gin  tensor.Vec
+
+	inB        *tensor.Mat // retained batch input (caller-owned)
+	outB, ginB tensor.Mat  // batch workspaces
 }
 
 // NewLinear returns a Linear layer with He-uniform initialised weights.
@@ -136,6 +154,8 @@ type ReLU struct {
 	out  tensor.Vec
 	mask []bool
 	gin  tensor.Vec
+
+	outB, ginB tensor.Mat // batch workspaces
 }
 
 // NewReLU returns a ReLU over dim units.
@@ -181,6 +201,8 @@ type Tanh struct {
 	dim int
 	out tensor.Vec
 	gin tensor.Vec
+
+	outB, ginB tensor.Mat // batch workspaces
 }
 
 // NewTanh returns a Tanh over dim units.
@@ -218,6 +240,9 @@ type EmbeddingBag struct {
 	dim    int
 	tokens []int // retained context
 	out    tensor.Vec
+
+	tokensB [][]int    // retained batch contexts (caller-owned)
+	outB    tensor.Mat // batch workspace
 }
 
 // NewEmbeddingBag returns an embedding table of vocab x dim.
@@ -276,10 +301,24 @@ type Network struct {
 	params  []*Param
 	classes int
 	probs   tensor.Vec // scratch for loss computation
+
+	// flatW/flatG are the contiguous parameter/gradient arenas every
+	// Param's W/G is a subslice of; ParamsVec/GradsVec expose them so
+	// optimizers can step the live model without flatten/unflatten copies.
+	flatW, flatG tensor.Vec
+
+	// batchLayers is the Layers stack seen through BatchLayer; nil when any
+	// layer lacks a batched path (the batched entry points then panic).
+	batchLayers []BatchLayer
 }
 
 // NewNetwork assembles a network. embed may be nil for dense-feature tasks.
 // The final layer's OutDim is the number of classes.
+//
+// Assembly rebases every parameter onto one contiguous weight arena and one
+// contiguous gradient arena, in Params() order — the same order FlattenParams
+// has always used, so flat-vector semantics are unchanged while ParamsVec,
+// GradsVec, and ZeroGrad become single-slice operations.
 func NewNetwork(embed *EmbeddingBag, layers ...Layer) *Network {
 	if len(layers) == 0 {
 		panic("nn: network needs at least one layer")
@@ -291,6 +330,30 @@ func NewNetwork(embed *EmbeddingBag, layers ...Layer) *Network {
 	for _, l := range layers {
 		n.params = append(n.params, l.Params()...)
 	}
+	total := 0
+	for _, p := range n.params {
+		total += p.Size()
+	}
+	n.flatW, n.flatG = tensor.NewVec(total), tensor.NewVec(total)
+	off := 0
+	for _, p := range n.params {
+		sz := p.Size()
+		copy(n.flatW[off:off+sz], p.W)
+		p.W = n.flatW[off : off+sz : off+sz]
+		p.G = n.flatG[off : off+sz : off+sz]
+		p.refreshViews()
+		off += sz
+	}
+	batch := make([]BatchLayer, 0, len(layers))
+	for _, l := range layers {
+		bl, ok := l.(BatchLayer)
+		if !ok {
+			batch = nil
+			break
+		}
+		batch = append(batch, bl)
+	}
+	n.batchLayers = batch
 	n.probs = tensor.NewVec(n.classes)
 	return n
 }
@@ -380,46 +443,43 @@ func (n *Network) Loss(in Input, label int) float64 {
 	return logits.LogSumExp() - logits[label]
 }
 
-// ZeroGrad clears all parameter gradients.
-func (n *Network) ZeroGrad() {
-	for _, p := range n.params {
-		p.G.Zero()
-	}
-}
+// ZeroGrad clears all parameter gradients (one pass over the arena).
+func (n *Network) ZeroGrad() { n.flatG.Zero() }
+
+// ParamsVec returns the network's live flat parameter storage — a view, not
+// a copy. Writing through it (or stepping an optimizer over it) mutates the
+// model directly; the layout matches FlattenParams/SetParams.
+func (n *Network) ParamsVec() tensor.Vec { return n.flatW }
+
+// GradsVec returns the live flat gradient storage (view, FlattenGrads
+// layout). Valid between ZeroGrad and the next backward pass like any
+// gradient accumulator.
+func (n *Network) GradsVec() tensor.Vec { return n.flatG }
 
 // FlattenParams copies all weights into dst, which must have length
 // NumWeights. The order is stable across calls and across replicas built by
 // the same constructor.
 func (n *Network) FlattenParams(dst tensor.Vec) {
-	off := 0
-	for _, p := range n.params {
-		copy(dst[off:off+p.Size()], p.W)
-		off += p.Size()
+	if len(dst) != len(n.flatW) {
+		panic(fmt.Sprintf("nn: FlattenParams dst length %d, want %d", len(dst), len(n.flatW)))
 	}
-	if off != len(dst) {
-		panic(fmt.Sprintf("nn: FlattenParams dst length %d, want %d", len(dst), off))
-	}
+	copy(dst, n.flatW)
 }
 
 // SetParams copies the flat weight vector src into the network parameters.
 func (n *Network) SetParams(src tensor.Vec) {
-	off := 0
-	for _, p := range n.params {
-		copy(p.W, src[off:off+p.Size()])
-		off += p.Size()
+	if len(src) != len(n.flatW) {
+		panic(fmt.Sprintf("nn: SetParams src length %d, want %d", len(src), len(n.flatW)))
 	}
-	if off != len(src) {
-		panic(fmt.Sprintf("nn: SetParams src length %d, want %d", len(src), off))
-	}
+	copy(n.flatW, src)
 }
 
 // FlattenGrads copies all gradients into dst (length NumWeights).
 func (n *Network) FlattenGrads(dst tensor.Vec) {
-	off := 0
-	for _, p := range n.params {
-		copy(dst[off:off+p.Size()], p.G)
-		off += p.Size()
+	if len(dst) != len(n.flatG) {
+		panic(fmt.Sprintf("nn: FlattenGrads dst length %d, want %d", len(dst), len(n.flatG)))
 	}
+	copy(dst, n.flatG)
 }
 
 // HasNaN reports whether any weight is NaN/Inf (training divergence).

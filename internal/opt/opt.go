@@ -48,10 +48,15 @@ func (s *SGD) Step(w, grad tensor.Vec) {
 			grad.Scale(s.ClipNorm / n)
 		}
 	}
+	// Slice-length hints let the compiler drop the per-element bounds
+	// checks; the arithmetic itself is unchanged (and must stay so — this
+	// step is on the bit-compatibility path of recorded banks).
+	grad = grad[:len(w)]
+	vel := s.velocity[:len(w)]
 	for i := range w {
 		g := grad[i] + s.WeightDecay*w[i]
-		s.velocity[i] = s.Momentum*s.velocity[i] + g
-		w[i] -= s.LR * s.velocity[i]
+		vel[i] = s.Momentum*vel[i] + g
+		w[i] -= s.LR * vel[i]
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 	"hash/fnv"
 	"math"
 	"math/rand/v2"
+	"strconv"
 )
 
 // RNG is a deterministic random number generator. It wraps a PCG source from
@@ -23,6 +24,13 @@ type RNG struct {
 	r    *rand.Rand
 	seed uint64
 	path string
+
+	// Deferred path representation, used by the allocation-free SplitInto
+	// helpers: when deferred is true the logical path is
+	// parentPath + "/" + labelBuf and path is materialized lazily by Path().
+	parentPath string
+	labelBuf   []byte
+	deferred   bool
 }
 
 // New returns an RNG seeded with seed. The second PCG word is a fixed
@@ -37,10 +45,11 @@ func New(seed uint64) *RNG {
 // same (seed, path) always yields the same stream and different labels yield
 // decorrelated streams. Split does not consume randomness from the parent.
 func (g *RNG) Split(label string) *RNG {
+	path := g.Path()
 	h := fnv.New64a()
-	fmt.Fprintf(h, "%016x/%s/%s", g.seed, g.path, label)
+	fmt.Fprintf(h, "%016x/%s/%s", g.seed, path, label)
 	child := New(h.Sum64())
-	child.path = g.path + "/" + label
+	child.path = path + "/" + label
 	return child
 }
 
@@ -49,11 +58,128 @@ func (g *RNG) Splitf(format string, args ...any) *RNG {
 	return g.Split(fmt.Sprintf(format, args...))
 }
 
+// The in-place split helpers below produce byte-identical derivation keys to
+// Split/Splitf without any heap allocation: the federated hot loop derives two
+// child streams per round ("round-N" and "client-K-round-N"), and the
+// fmt.Sprintf + hash.Hash + child-RNG allocations of Splitf dominated its
+// allocation profile. TestSplitIntoMatchesSplitf pins stream equality.
+
+// fnv64a constants (hash/fnv), inlined so key derivation needs no hash.Hash
+// allocation. deriveSeed must hash exactly the bytes Split writes via
+// fmt.Fprintf(h, "%016x/%s/%s", seed, path, label).
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func fnvByte(h uint64, b byte) uint64 { return (h ^ uint64(b)) * fnvPrime64 }
+
+func fnvBytes(h uint64, bs []byte) uint64 {
+	for _, b := range bs {
+		h = fnvByte(h, b)
+	}
+	return h
+}
+
+func fnvString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h = fnvByte(h, s[i])
+	}
+	return h
+}
+
+// deriveSeed returns the child seed Split(string(label)) computes.
+func (g *RNG) deriveSeed(label []byte) uint64 {
+	const hexDigits = "0123456789abcdef"
+	h := uint64(fnvOffset64)
+	for shift := 60; shift >= 0; shift -= 4 {
+		h = fnvByte(h, hexDigits[(g.seed>>uint(shift))&0xf])
+	}
+	h = fnvByte(h, '/')
+	h = g.hashPath(h)
+	h = fnvByte(h, '/')
+	h = fnvBytes(h, label)
+	return h
+}
+
+// hashPath folds this stream's split-path into h without materializing it:
+// a deferred path hashes as parentPath + "/" + labelBuf.
+func (g *RNG) hashPath(h uint64) uint64 {
+	if !g.deferred {
+		return fnvString(h, g.path)
+	}
+	h = fnvString(h, g.parentPath)
+	h = fnvByte(h, '/')
+	return fnvBytes(h, g.labelBuf)
+}
+
+// reseed points g at the stream New(seed) would produce, reusing g's
+// allocated source. rand/v2's Rand holds no state beyond its Source, so the
+// resulting stream is byte-identical to a freshly constructed RNG.
+func (g *RNG) reseed(seed uint64) {
+	g.seed = seed
+	g.src.Seed(seed, seed^0x9e3779b97f4a7c15)
+}
+
+// splitLabelInto reseeds dst to the stream g.Split(string(label)) returns,
+// with dst's path kept in deferred (unmaterialized) form so the call is
+// allocation-free once dst's label buffer is warm. label must alias
+// dst.labelBuf (the callers below build it there).
+func (g *RNG) splitLabelInto(dst *RNG, label []byte) {
+	seed := g.deriveSeed(label)
+	dst.parentPath = g.Path()
+	dst.deferred = true
+	dst.path = ""
+	dst.reseed(seed)
+}
+
+// SplitInto reseeds dst in place to the exact stream g.Split(label) returns
+// (same seed, same split-path, same subsequent Split derivations). dst must
+// have been created by New and must not be g itself; its previous stream is
+// abandoned.
+func (g *RNG) SplitInto(dst *RNG, label string) {
+	dst.labelBuf = append(dst.labelBuf[:0], label...)
+	g.splitLabelInto(dst, dst.labelBuf)
+}
+
+// SplitIntInto is SplitInto with label prefix+itoa(n): it reseeds dst to the
+// stream g.Splitf(prefix+"%d", n) returns, without the fmt allocations.
+func (g *RNG) SplitIntInto(dst *RNG, prefix string, n int) {
+	buf := append(dst.labelBuf[:0], prefix...)
+	buf = appendDecimal(buf, n)
+	dst.labelBuf = buf
+	g.splitLabelInto(dst, buf)
+}
+
+// SplitInt2Into is SplitInto with label p1+itoa(a)+p2+itoa(b): it reseeds dst
+// to the stream g.Splitf(p1+"%d"+p2+"%d", a, b) returns.
+func (g *RNG) SplitInt2Into(dst *RNG, p1 string, a int, p2 string, b int) {
+	buf := append(dst.labelBuf[:0], p1...)
+	buf = appendDecimal(buf, a)
+	buf = append(buf, p2...)
+	buf = appendDecimal(buf, b)
+	dst.labelBuf = buf
+	g.splitLabelInto(dst, buf)
+}
+
+// appendDecimal appends the base-10 representation of n (matching %d);
+// allocation-free when buf has capacity.
+func appendDecimal(buf []byte, n int) []byte {
+	return strconv.AppendInt(buf, int64(n), 10)
+}
+
 // Seed returns the seed this stream was created with.
 func (g *RNG) Seed() uint64 { return g.seed }
 
-// Path returns the split-path of this stream ("" for a root stream).
-func (g *RNG) Path() string { return g.path }
+// Path returns the split-path of this stream ("" for a root stream),
+// materializing a deferred path left by SplitInto and friends.
+func (g *RNG) Path() string {
+	if g.deferred {
+		g.path = g.parentPath + "/" + string(g.labelBuf)
+		g.deferred = false
+	}
+	return g.path
+}
 
 // Float64 returns a uniform sample in [0, 1).
 func (g *RNG) Float64() float64 { return g.r.Float64() }
@@ -253,6 +379,17 @@ func (g *RNG) Categorical(weights []float64) int {
 // Perm returns a random permutation of [0, n).
 func (g *RNG) Perm(n int) []int { return g.r.Perm(n) }
 
+// PermInto fills dst with a random permutation of [0, len(dst)). It consumes
+// exactly the randomness Perm(len(dst)) consumes and produces the same
+// permutation, without allocating (the hot-path form used by local training's
+// per-client example shuffles).
+func (g *RNG) PermInto(dst []int) {
+	for i := range dst {
+		dst[i] = i
+	}
+	g.r.Shuffle(len(dst), func(i, j int) { dst[i], dst[j] = dst[j], dst[i] })
+}
+
 // Shuffle shuffles the first n indices using swap.
 func (g *RNG) Shuffle(n int, swap func(i, j int)) { g.r.Shuffle(n, swap) }
 
@@ -267,7 +404,21 @@ func (g *RNG) SampleWithoutReplacement(n, k int) []int {
 		return nil
 	}
 	// Partial Fisher-Yates over an index slice; O(n) memory, O(k) swaps.
-	idx := make([]int, n)
+	return g.SampleWithoutReplacementInto(n, k, make([]int, n))
+}
+
+// SampleWithoutReplacementInto is SampleWithoutReplacement with caller-owned
+// scratch: buf must have length >= n; the result occupies buf[:k]. It draws
+// from the stream identically to SampleWithoutReplacement, so the two forms
+// are interchangeable without perturbing reproducibility.
+func (g *RNG) SampleWithoutReplacementInto(n, k int, buf []int) []int {
+	if k < 0 || k > n {
+		panic(fmt.Sprintf("rng: SampleWithoutReplacementInto k=%d out of range [0, %d]", k, n))
+	}
+	if k == 0 {
+		return buf[:0]
+	}
+	idx := buf[:n]
 	for i := range idx {
 		idx[i] = i
 	}

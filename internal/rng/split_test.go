@@ -1,0 +1,145 @@
+package rng
+
+import (
+	"fmt"
+	"testing"
+)
+
+// assertSameStream verifies two streams have identical seed, path, and the
+// same next draws — the contract that lets the allocation-free split helpers
+// replace Splitf without invalidating any existing bank or experiment output.
+func assertSameStream(t *testing.T, want, got *RNG, ctx string) {
+	t.Helper()
+	if want.Seed() != got.Seed() {
+		t.Fatalf("%s: seed %d != %d", ctx, got.Seed(), want.Seed())
+	}
+	if want.Path() != got.Path() {
+		t.Fatalf("%s: path %q != %q", ctx, got.Path(), want.Path())
+	}
+	for i := 0; i < 16; i++ {
+		w, g := want.Uint64(), got.Uint64()
+		if w != g {
+			t.Fatalf("%s: draw %d: %d != %d", ctx, i, g, w)
+		}
+	}
+}
+
+// TestSplitIntoMatchesSplitf pins the derivation-key equality between the
+// fmt-free helpers and the original Splitf paths used by existing banks.
+func TestSplitIntoMatchesSplitf(t *testing.T) {
+	parents := []*RNG{
+		New(0),
+		New(42),
+		New(42).Split("train"),
+		New(7).Split("config-3").Split("train"),
+		New(^uint64(0)),
+	}
+	ints := []int{0, 1, 9, 10, 99, 100, 404, 405, 123456789, -1, -42}
+	for pi, parent := range parents {
+		dst := New(0)
+		for _, n := range ints {
+			parent.SplitIntInto(dst, "round-", n)
+			assertSameStream(t, parent.Splitf("round-%d", n), dst,
+				fmt.Sprintf("parent %d SplitIntInto round-%d", pi, n))
+			for _, m := range ints {
+				parent.SplitInt2Into(dst, "client-", n, "-round-", m)
+				assertSameStream(t, parent.Splitf("client-%d-round-%d", n, m), dst,
+					fmt.Sprintf("parent %d SplitInt2Into client-%d-round-%d", pi, n, m))
+			}
+		}
+		for _, label := range []string{"train", "init", "pool", "", "a/b", "répétition"} {
+			parent.SplitInto(dst, label)
+			assertSameStream(t, parent.Split(label), dst,
+				fmt.Sprintf("parent %d SplitInto %q", pi, label))
+		}
+	}
+}
+
+// TestSplitIntoChildSplits verifies a reseeded child derives the same
+// grandchildren as a freshly allocated one (the deferred path materializes
+// correctly).
+func TestSplitIntoChildSplits(t *testing.T) {
+	parent := New(11).Split("train")
+	dst := New(0)
+	parent.SplitIntInto(dst, "round-", 17)
+	want := parent.Splitf("round-%d", 17).Split("sub")
+	got := dst.Split("sub")
+	assertSameStream(t, want, got, "grandchild")
+}
+
+// TestSplitIntoReuse checks that reusing one destination across many splits
+// leaves no cross-contamination between consecutive streams.
+func TestSplitIntoReuse(t *testing.T) {
+	parent := New(3)
+	dst := New(0)
+	for round := 0; round < 50; round++ {
+		parent.SplitIntInto(dst, "round-", round)
+		want := parent.Splitf("round-%d", round)
+		// Interleave draws with the equality check.
+		for i := 0; i < 4; i++ {
+			if w, g := want.IntN(1000), dst.IntN(1000); w != g {
+				t.Fatalf("round %d draw %d: %d != %d", round, i, g, w)
+			}
+		}
+	}
+}
+
+func TestPermIntoMatchesPerm(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 100} {
+		a, b := New(5).Split("p"), New(5).Split("p")
+		dst := make([]int, n)
+		b.PermInto(dst)
+		want := a.Perm(n)
+		for i := range want {
+			if want[i] != dst[i] {
+				t.Fatalf("n=%d: PermInto %v != Perm %v", n, dst, want)
+			}
+		}
+		// Both must leave the stream in the same state.
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("n=%d: stream state diverged after PermInto", n)
+		}
+	}
+}
+
+func TestSampleWithoutReplacementIntoMatches(t *testing.T) {
+	buf := make([]int, 100)
+	for _, tc := range []struct{ n, k int }{{10, 0}, {10, 3}, {10, 10}, {100, 7}, {1, 1}} {
+		a, b := New(9).Split("s"), New(9).Split("s")
+		want := a.SampleWithoutReplacement(tc.n, tc.k)
+		got := b.SampleWithoutReplacementInto(tc.n, tc.k, buf)
+		if len(want) != len(got) {
+			t.Fatalf("n=%d k=%d: len %d != %d", tc.n, tc.k, len(got), len(want))
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("n=%d k=%d: %v != %v", tc.n, tc.k, got, want)
+			}
+		}
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("n=%d k=%d: stream state diverged", tc.n, tc.k)
+		}
+	}
+}
+
+// TestSplitIntoAllocationFree asserts the steady-state allocation contract
+// that motivated the helpers: deriving hot-path child streams costs zero
+// heap allocations once buffers are warm.
+func TestSplitIntoAllocationFree(t *testing.T) {
+	parent := New(1).Split("train")
+	parent.Path() // materialize once
+	dst := New(0)
+	perm := make([]int, 40)
+	buf := make([]int, 40)
+	round := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		parent.SplitIntInto(dst, "round-", round)
+		dst.SampleWithoutReplacementInto(40, 10, buf)
+		parent.SplitInt2Into(dst, "client-", round%17, "-round-", round)
+		dst.PermInto(perm)
+		round++
+	})
+	if allocs != 0 {
+		t.Fatalf("hot-path split helpers allocate %.1f/op, want 0", allocs)
+	}
+}

@@ -1,0 +1,215 @@
+// Batched (minibatch) kernels: the GEMM forms and the row-wise loss kernel
+// that the nn batched forward/backward path is built on. These kernels own
+// the training hot loop, so their inner loops are unrolled four wide with
+// independent accumulators — unlike the per-sample kernels in tensor.go they
+// carry no bit-compatibility obligation (the batched path is a different
+// summation order by construction, keyed separately in the bank cache).
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Resize sets m to rows×cols, reusing the backing array when capacity
+// allows. Contents are undefined after a resize; callers overwrite or Zero.
+// A matrix that cycles through batch sizes (full minibatches plus a smaller
+// tail) settles on the largest seen allocation and never reallocates.
+func (m *Mat) Resize(rows, cols int) {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: Resize(%d, %d) with negative dimension", rows, cols))
+	}
+	n := rows * cols
+	if cap(m.Data) < n {
+		m.Data = make([]float64, n)
+	}
+	m.Rows, m.Cols, m.Data = rows, cols, m.Data[:n]
+}
+
+// MatMulNT computes c = a * bᵀ. Shapes: a is n×k, b is m×k, c must be n×m
+// and is overwritten. Both operands stream row-major, which is why the
+// batched Linear forward (X·Wᵀ with W stored out×in) uses this form: every
+// inner product walks two contiguous rows.
+func MatMulNT(a, b, c *Mat) {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulNT inner dims %d != %d", a.Cols, b.Cols))
+	}
+	if c.Rows != a.Rows || c.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMulNT out shape %dx%d, want %dx%d", c.Rows, c.Cols, a.Rows, b.Rows))
+	}
+	k := a.Cols
+	// 2×2 register tiling: each pass computes a 2-row × 2-column output
+	// tile, so every loaded a-row and b-row element feeds two multiply
+	// chains and the four accumulators give the FPU independent work.
+	i := 0
+	for ; i+2 <= a.Rows; i += 2 {
+		arow0 := a.Data[i*k : (i+1)*k : (i+1)*k]
+		arow1 := a.Data[(i+1)*k : (i+2)*k : (i+2)*k]
+		crow0 := c.Data[i*c.Cols : (i+1)*c.Cols]
+		crow1 := c.Data[(i+1)*c.Cols : (i+2)*c.Cols]
+		o := 0
+		for ; o+2 <= b.Rows; o += 2 {
+			brow0 := b.Data[o*k : (o+1)*k : (o+1)*k]
+			brow1 := b.Data[(o+1)*k : (o+2)*k : (o+2)*k]
+			arow1 := arow1[:len(arow0)]
+			brow0 = brow0[:len(arow0)]
+			brow1 = brow1[:len(arow0)]
+			var s00, s01, s10, s11 float64
+			for j, a0 := range arow0 {
+				a1 := arow1[j]
+				b0, b1 := brow0[j], brow1[j]
+				s00 += a0 * b0
+				s01 += a0 * b1
+				s10 += a1 * b0
+				s11 += a1 * b1
+			}
+			crow0[o], crow0[o+1] = s00, s01
+			crow1[o], crow1[o+1] = s10, s11
+		}
+		for ; o < b.Rows; o++ {
+			brow := b.Data[o*k : (o+1)*k : (o+1)*k]
+			var s0, s1 float64
+			for j, bv := range brow {
+				s0 += arow0[j] * bv
+				s1 += arow1[j] * bv
+			}
+			crow0[o], crow1[o] = s0, s1
+		}
+	}
+	for ; i < a.Rows; i++ {
+		arow := a.Data[i*k : (i+1)*k : (i+1)*k]
+		crow := c.Data[i*c.Cols : (i+1)*c.Cols]
+		o := 0
+		for ; o+2 <= b.Rows; o += 2 {
+			brow0 := b.Data[o*k : (o+1)*k : (o+1)*k]
+			brow1 := b.Data[(o+1)*k : (o+2)*k : (o+2)*k]
+			var s0, s1 float64
+			for j, av := range arow {
+				s0 += av * brow0[j]
+				s1 += av * brow1[j]
+			}
+			crow[o], crow[o+1] = s0, s1
+		}
+		for ; o < b.Rows; o++ {
+			brow := b.Data[o*k : (o+1)*k : (o+1)*k]
+			s := 0.0
+			for j, av := range arow {
+				s += av * brow[j]
+			}
+			crow[o] = s
+		}
+	}
+}
+
+// MatMulTNAcc accumulates c += aᵀ * b. Shapes: a is n×k, b is n×m, c must be
+// k×m. This is the batched weight-gradient form dW += Gᵀ·X (G = n×out
+// upstream gradients, X = n×in activations): one call replaces n rank-1
+// AddOuter updates. The g == 0 skip keeps ReLU-masked gradient rows cheap.
+func MatMulTNAcc(a, b, c *Mat) {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMulTNAcc batch dims %d != %d", a.Rows, b.Rows))
+	}
+	if c.Rows != a.Cols || c.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulTNAcc out shape %dx%d, want %dx%d", c.Rows, c.Cols, a.Cols, b.Cols))
+	}
+	k, m := a.Cols, b.Cols
+	// Output-stationary with 4-wide batch blocking: each c row is loaded and
+	// stored once per four batch rows, and the four products per element form
+	// independent multiply chains. Branching on individual zero gradients
+	// (ReLU-masked rows are ~half zeros, sign-random) mispredicts too often
+	// to pay for the skipped work, so only the all-four-zero case — rare and
+	// cheap to test — short-circuits.
+	for o := 0; o < k; o++ {
+		crow := c.Data[o*m : (o+1)*m : (o+1)*m]
+		i := 0
+		for ; i+4 <= a.Rows; i += 4 {
+			g0 := a.Data[i*k+o]
+			g1 := a.Data[(i+1)*k+o]
+			g2 := a.Data[(i+2)*k+o]
+			g3 := a.Data[(i+3)*k+o]
+			if g0 == 0 && g1 == 0 && g2 == 0 && g3 == 0 {
+				continue
+			}
+			brow0 := b.Data[i*m : (i+1)*m : (i+1)*m]
+			brow1 := b.Data[(i+1)*m : (i+2)*m : (i+2)*m]
+			brow2 := b.Data[(i+2)*m : (i+3)*m : (i+3)*m]
+			brow3 := b.Data[(i+3)*m : (i+4)*m : (i+4)*m]
+			brow1 = brow1[:len(brow0)]
+			brow2 = brow2[:len(brow0)]
+			brow3 = brow3[:len(brow0)]
+			crow := crow[:len(brow0)]
+			for j := range brow0 {
+				crow[j] += g0*brow0[j] + g1*brow1[j] + g2*brow2[j] + g3*brow3[j]
+			}
+		}
+		for ; i < a.Rows; i++ {
+			g := a.Data[i*k+o]
+			if g == 0 {
+				continue
+			}
+			brow := b.Data[i*m : (i+1)*m : (i+1)*m]
+			crow := crow[:len(brow)]
+			for j := range brow {
+				crow[j] += g * brow[j]
+			}
+		}
+	}
+}
+
+// AddRowVec adds v to every row of m (bias broadcast). v must have length
+// m.Cols.
+func (m *Mat) AddRowVec(v Vec) {
+	checkLen("AddRowVec", m.Cols, len(v))
+	n := m.Cols
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*n : (i+1)*n : (i+1)*n]
+		for j := range row {
+			row[j] += v[j]
+		}
+	}
+}
+
+// AccumColSums accumulates dst[j] += Σ_i m[i][j] (batched bias gradient).
+// dst must have length m.Cols.
+func (m *Mat) AccumColSums(dst Vec) {
+	checkLen("AccumColSums", m.Cols, len(dst))
+	n := m.Cols
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*n : (i+1)*n : (i+1)*n]
+		for j := range row {
+			dst[j] += row[j]
+		}
+	}
+}
+
+// ArgMaxRows fills preds[i] with the argmax of row i (first on ties,
+// matching Vec.ArgMax). preds must have length m.Rows.
+func (m *Mat) ArgMaxRows(preds []int) {
+	checkLen("ArgMaxRows", m.Rows, len(preds))
+	for i := range preds {
+		preds[i] = m.Row(i).ArgMax()
+	}
+}
+
+// SoftmaxCrossEntropyRows treats each row of logits as one example's class
+// logits: it replaces the row in place with the cross-entropy gradient
+// softmax(row) − onehot(labels[i]) and returns the summed (not averaged)
+// loss, matching the per-sample convention (callers divide by the batch size
+// at the optimizer step). Per-row arithmetic is identical to the per-sample
+// SoftmaxInPlace + log clamp, so a batch of one reproduces LossAndBackward's
+// loss exactly.
+func SoftmaxCrossEntropyRows(logits *Mat, labels []int) float64 {
+	checkLen("SoftmaxCrossEntropyRows", logits.Rows, len(labels))
+	total := 0.0
+	for i := 0; i < logits.Rows; i++ {
+		row := logits.Row(i)
+		label := labels[i]
+		if label < 0 || label >= len(row) {
+			panic(fmt.Sprintf("tensor: label %d out of %d classes", label, len(row)))
+		}
+		row.SoftmaxInPlace()
+		total += -math.Log(math.Max(row[label], 1e-12))
+		row[label] -= 1
+	}
+	return total
+}

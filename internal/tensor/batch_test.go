@@ -1,0 +1,235 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+
+	"noisyeval/internal/rng"
+)
+
+func randMat(rows, cols int, g *rng.RNG) *Mat {
+	m := NewMat(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = g.Normal(0, 1)
+	}
+	return m
+}
+
+// TestMatMulNT checks c = a·bᵀ against the naive triple loop on random
+// shapes, including non-multiple-of-4 inner dimensions that exercise the
+// unroll tails.
+func TestMatMulNT(t *testing.T) {
+	g := rng.New(1)
+	for _, shape := range [][3]int{{1, 1, 1}, {2, 3, 5}, {7, 4, 9}, {32, 24, 48}, {5, 10, 3}, {3, 6, 1}} {
+		n, k, m := shape[0], shape[1], shape[2]
+		a, b := randMat(n, k, g), randMat(m, k, g)
+		c := NewMat(n, m)
+		MatMulNT(a, b, c)
+		for i := 0; i < n; i++ {
+			for j := 0; j < m; j++ {
+				want := 0.0
+				for l := 0; l < k; l++ {
+					want += a.At(i, l) * b.At(j, l)
+				}
+				if math.Abs(c.At(i, j)-want) > 1e-12 {
+					t.Fatalf("shape %v: c[%d][%d] = %g, want %g", shape, i, j, c.At(i, j), want)
+				}
+			}
+		}
+	}
+}
+
+// TestMatMulTNAcc checks c += aᵀ·b against the naive loop, verifying the
+// accumulate semantics and the zero-skip.
+func TestMatMulTNAcc(t *testing.T) {
+	g := rng.New(2)
+	for _, shape := range [][3]int{{1, 1, 1}, {4, 3, 5}, {32, 10, 24}, {9, 7, 6}} {
+		n, k, m := shape[0], shape[1], shape[2]
+		a, b := randMat(n, k, g), randMat(n, m, g)
+		// Sparsify a to exercise the skip.
+		for i := range a.Data {
+			if g.Bool(0.4) {
+				a.Data[i] = 0
+			}
+		}
+		c := randMat(k, m, g)
+		want := c.Clone()
+		MatMulTNAcc(a, b, c)
+		for o := 0; o < k; o++ {
+			for j := 0; j < m; j++ {
+				w := want.At(o, j)
+				for i := 0; i < n; i++ {
+					w += a.At(i, o) * b.At(i, j)
+				}
+				if math.Abs(c.At(o, j)-w) > 1e-12 {
+					t.Fatalf("shape %v: c[%d][%d] = %g, want %g", shape, o, j, c.At(o, j), w)
+				}
+			}
+		}
+	}
+}
+
+func TestAddRowVecAndColSums(t *testing.T) {
+	g := rng.New(3)
+	m := randMat(7, 5, g)
+	orig := m.Clone()
+	v := NewVec(5)
+	for i := range v {
+		v[i] = g.Normal(0, 1)
+	}
+	m.AddRowVec(v)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			if m.At(i, j) != orig.At(i, j)+v[j] {
+				t.Fatalf("AddRowVec [%d][%d]", i, j)
+			}
+		}
+	}
+	dst := NewVec(5)
+	dst[0] = 2
+	m.AccumColSums(dst)
+	for j := 0; j < 5; j++ {
+		want := 0.0
+		if j == 0 {
+			want = 2
+		}
+		for i := 0; i < 7; i++ {
+			want += m.At(i, j)
+		}
+		if math.Abs(dst[j]-want) > 1e-12 {
+			t.Fatalf("AccumColSums[%d] = %g, want %g", j, dst[j], want)
+		}
+	}
+}
+
+// TestSoftmaxCrossEntropyRows checks the fused loss kernel row-by-row
+// against the per-sample SoftmaxInPlace + clamp + onehot-subtract sequence.
+func TestSoftmaxCrossEntropyRows(t *testing.T) {
+	g := rng.New(4)
+	logits := randMat(9, 6, g)
+	labels := make([]int, 9)
+	for i := range labels {
+		labels[i] = g.IntN(6)
+	}
+	ref := logits.Clone()
+	wantLoss := 0.0
+	for i := 0; i < ref.Rows; i++ {
+		row := ref.Row(i)
+		row.SoftmaxInPlace()
+		wantLoss += -math.Log(math.Max(row[labels[i]], 1e-12))
+		row[labels[i]] -= 1
+	}
+	gotLoss := SoftmaxCrossEntropyRows(logits, labels)
+	if gotLoss != wantLoss {
+		t.Fatalf("loss %g, want %g", gotLoss, wantLoss)
+	}
+	for i := range logits.Data {
+		if logits.Data[i] != ref.Data[i] {
+			t.Fatalf("grad[%d] = %g, want %g", i, logits.Data[i], ref.Data[i])
+		}
+	}
+}
+
+func TestArgMaxRows(t *testing.T) {
+	m := FromRows([][]float64{{1, 3, 2}, {5, 5, 4}, {-1, -2, -0.5}})
+	preds := make([]int, 3)
+	m.ArgMaxRows(preds)
+	for i, want := range []int{1, 0, 2} {
+		if preds[i] != want {
+			t.Fatalf("preds[%d] = %d, want %d", i, preds[i], want)
+		}
+	}
+}
+
+func TestResize(t *testing.T) {
+	m := NewMat(4, 8)
+	base := &m.Data[0]
+	m.Resize(2, 8)
+	if m.Rows != 2 || m.Cols != 8 || len(m.Data) != 16 {
+		t.Fatalf("Resize shrink: %dx%d len %d", m.Rows, m.Cols, len(m.Data))
+	}
+	if &m.Data[0] != base {
+		t.Fatal("Resize shrink reallocated")
+	}
+	m.Resize(4, 8)
+	if &m.Data[0] != base {
+		t.Fatal("Resize regrow within capacity reallocated")
+	}
+	m.Resize(10, 8)
+	if m.Rows != 10 || len(m.Data) != 80 {
+		t.Fatalf("Resize grow: %dx%d len %d", m.Rows, m.Cols, len(m.Data))
+	}
+}
+
+// TestUnrolledKernelsBitIdentical pins the bit-exactness contract of the
+// unrolled per-sample kernels: for MulVec the unroll must keep a single
+// in-order accumulator, and for MulVecT/AddOuter/MatMul the unroll writes
+// independent elements, so results equal the naive scalar loops bit for bit.
+func TestUnrolledKernelsBitIdentical(t *testing.T) {
+	g := rng.New(5)
+	for _, shape := range [][2]int{{1, 1}, {3, 5}, {10, 24}, {48, 10}, {7, 7}} {
+		r, c := shape[0], shape[1]
+		m := randMat(r, c, g)
+		x, y := NewVec(c), NewVec(r)
+		for i := range x {
+			x[i] = g.Normal(0, 1)
+		}
+		for i := range y {
+			if g.Bool(0.3) {
+				y[i] = 0 // exercise the zero-skip
+			} else {
+				y[i] = g.Normal(0, 1)
+			}
+		}
+
+		out := NewVec(r)
+		m.MulVec(x, out)
+		for i := 0; i < r; i++ {
+			s := 0.0
+			row := m.Row(i)
+			for j := range row {
+				s += row[j] * x[j]
+			}
+			if out[i] != s {
+				t.Fatalf("MulVec %v row %d: %g != %g (not bit-identical)", shape, i, out[i], s)
+			}
+		}
+
+		outT := NewVec(c)
+		m.MulVecT(y, outT)
+		ref := NewVec(c)
+		for i := 0; i < r; i++ {
+			if y[i] == 0 {
+				continue
+			}
+			row := m.Row(i)
+			for j := range row {
+				ref[j] += row[j] * y[i]
+			}
+		}
+		for j := range ref {
+			if outT[j] != ref[j] {
+				t.Fatalf("MulVecT %v col %d: %g != %g (not bit-identical)", shape, j, outT[j], ref[j])
+			}
+		}
+
+		acc := randMat(r, c, g)
+		refAcc := acc.Clone()
+		acc.AddOuter(1.5, y, x)
+		for i := 0; i < r; i++ {
+			ax := 1.5 * y[i]
+			if ax == 0 {
+				continue
+			}
+			row := refAcc.Row(i)
+			for j := range row {
+				row[j] += ax * x[j]
+			}
+		}
+		for i := range acc.Data {
+			if acc.Data[i] != refAcc.Data[i] {
+				t.Fatalf("AddOuter %v elt %d: %g != %g (not bit-identical)", shape, i, acc.Data[i], refAcc.Data[i])
+			}
+		}
+	}
+}

@@ -255,14 +255,26 @@ func (m *Mat) Axpy(a float64, other *Mat) {
 
 // MulVec computes out = m * x (GEMV). out must have length m.Rows and x
 // length m.Cols. out may not alias x.
+//
+// The inner loop is unrolled with a single accumulator added in index order,
+// so results stay bit-identical to the naive loop (a summation-order change
+// would perturb every recorded bank; see DESIGN.md "Batched training engine").
 func (m *Mat) MulVec(x, out Vec) {
 	checkLen("MulVec x", m.Cols, len(x))
 	checkLen("MulVec out", m.Rows, len(out))
+	n := m.Cols
 	for i := 0; i < m.Rows; i++ {
-		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		row := m.Data[i*n : (i+1)*n : (i+1)*n]
 		s := 0.0
-		for j, r := range row {
-			s += r * x[j]
+		j := 0
+		for ; j+4 <= n; j += 4 {
+			s += row[j] * x[j]
+			s += row[j+1] * x[j+1]
+			s += row[j+2] * x[j+2]
+			s += row[j+3] * x[j+3]
+		}
+		for ; j < n; j++ {
+			s += row[j] * x[j]
 		}
 		out[i] = s
 	}
@@ -270,41 +282,67 @@ func (m *Mat) MulVec(x, out Vec) {
 
 // MulVecT computes out = mᵀ * x. out must have length m.Cols and x length
 // m.Rows. out may not alias x. out is overwritten.
+//
+// The xi == 0 skip is load-bearing, not just a fast path: it keeps ReLU-masked
+// backward passes cheap AND preserves exact results when weights hold Inf/NaN
+// (0*Inf would inject NaN into otherwise-untouched lanes of diverged models,
+// whose frozen behaviour the study depends on). The unrolled inner loop writes
+// independent elements, so it is bit-identical to the scalar loop.
 func (m *Mat) MulVecT(x, out Vec) {
 	checkLen("MulVecT x", m.Rows, len(x))
 	checkLen("MulVecT out", m.Cols, len(out))
 	out.Zero()
+	n := m.Cols
 	for i := 0; i < m.Rows; i++ {
 		xi := x[i]
 		if xi == 0 {
 			continue
 		}
-		row := m.Data[i*m.Cols : (i+1)*m.Cols]
-		for j, r := range row {
-			out[j] += r * xi
+		row := m.Data[i*n : (i+1)*n : (i+1)*n]
+		j := 0
+		for ; j+4 <= n; j += 4 {
+			out[j] += row[j] * xi
+			out[j+1] += row[j+1] * xi
+			out[j+2] += row[j+2] * xi
+			out[j+3] += row[j+3] * xi
+		}
+		for ; j < n; j++ {
+			out[j] += row[j] * xi
 		}
 	}
 }
 
 // AddOuter accumulates m += a * x yᵀ (rank-1 update), where x has length
-// m.Rows and y has length m.Cols. Used for weight gradients.
+// m.Rows and y has length m.Cols. Used for weight gradients. The ax == 0 skip
+// and element-independent unroll keep results bit-identical to the scalar
+// loop (see MulVecT).
 func (m *Mat) AddOuter(a float64, x, y Vec) {
 	checkLen("AddOuter x", m.Rows, len(x))
 	checkLen("AddOuter y", m.Cols, len(y))
+	n := m.Cols
 	for i := 0; i < m.Rows; i++ {
 		ax := a * x[i]
 		if ax == 0 {
 			continue
 		}
-		row := m.Data[i*m.Cols : (i+1)*m.Cols]
-		for j := range row {
+		row := m.Data[i*n : (i+1)*n : (i+1)*n]
+		j := 0
+		for ; j+4 <= n; j += 4 {
+			row[j] += ax * y[j]
+			row[j+1] += ax * y[j+1]
+			row[j+2] += ax * y[j+2]
+			row[j+3] += ax * y[j+3]
+		}
+		for ; j < n; j++ {
 			row[j] += ax * y[j]
 		}
 	}
 }
 
 // MatMul computes c = a * b (GEMM). Shapes: a is n×k, b is k×m, c must be
-// n×m and is overwritten. c may not alias a or b.
+// n×m and is overwritten. c may not alias a or b. The i-k-j loop order
+// streams b and c rows; the av == 0 skip makes ReLU-sparse left operands
+// (batched hidden-layer gradients) proportionally cheaper.
 func MatMul(a, b, c *Mat) {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("tensor: MatMul inner dims %d != %d", a.Cols, b.Rows))
@@ -313,16 +351,47 @@ func MatMul(a, b, c *Mat) {
 		panic(fmt.Sprintf("tensor: MatMul out shape %dx%d, want %dx%d", c.Rows, c.Cols, a.Rows, b.Cols))
 	}
 	c.Zero()
-	for i := 0; i < a.Rows; i++ {
+	n := c.Cols
+	// 2-wide blocking over output rows: each b row is loaded once per row
+	// pair. Blocking the output dimension leaves every element's reduction
+	// order over k unchanged, so results stay bit-identical to the scalar
+	// triple loop.
+	i := 0
+	for ; i+2 <= a.Rows; i += 2 {
+		arow0 := a.Data[i*a.Cols : (i+1)*a.Cols]
+		arow1 := a.Data[(i+1)*a.Cols : (i+2)*a.Cols]
+		crow0 := c.Data[i*n : (i+1)*n : (i+1)*n]
+		crow1 := c.Data[(i+1)*n : (i+2)*n : (i+2)*n]
+		for k, av0 := range arow0 {
+			av1 := arow1[k]
+			brow := b.Data[k*n : (k+1)*n : (k+1)*n]
+			switch {
+			case av0 != 0 && av1 != 0:
+				for j := range brow {
+					crow0[j] += av0 * brow[j]
+					crow1[j] += av1 * brow[j]
+				}
+			case av0 != 0:
+				for j := range brow {
+					crow0[j] += av0 * brow[j]
+				}
+			case av1 != 0:
+				for j := range brow {
+					crow1[j] += av1 * brow[j]
+				}
+			}
+		}
+	}
+	for ; i < a.Rows; i++ {
 		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
-		crow := c.Data[i*c.Cols : (i+1)*c.Cols]
+		crow := c.Data[i*n : (i+1)*n : (i+1)*n]
 		for k, av := range arow {
 			if av == 0 {
 				continue
 			}
-			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
-			for j, bv := range brow {
-				crow[j] += av * bv
+			brow := b.Data[k*n : (k+1)*n : (k+1)*n]
+			for j := range brow {
+				crow[j] += av * brow[j]
 			}
 		}
 	}

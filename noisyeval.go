@@ -14,6 +14,13 @@
 //   - the ConfigBank protocol (train once, bootstrap many trials) plus one
 //     experiment driver per table/figure of the paper.
 //
+// Training runs on a batched engine by default (minibatch GEMM
+// forward/backward, zero-copy in-place client steps, batched evaluation; see
+// DESIGN.md §6). BuildOptions.BatchEval / TrainerOptions.BatchEval select
+// it; setting them false reproduces the original per-sample engine bit for
+// bit, and the flag participates in the BankStore cache key because batched
+// summation order changes float results.
+//
 // This facade re-exports the library's primary types so downstream users
 // interact with one import path; packages under internal/ hold the
 // implementation. Start with Quickstart in examples/quickstart, or:

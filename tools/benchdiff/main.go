@@ -1,0 +1,131 @@
+// Command benchdiff compares a freshly generated benchmark JSON (bench2json
+// output) against a committed baseline and fails when a gated benchmark's
+// ns/op regresses beyond the allowed fraction. CI runs it after the bench
+// smoke job so hot-path regressions fail the build instead of landing
+// silently; `make bench-check` runs the identical gate locally.
+//
+//	benchdiff -baseline BENCH_baseline.json -latest BENCH_latest.json \
+//	    -bench BenchmarkFederatedRound,BenchmarkBankBuild -max-regress 0.25
+//
+// Benchmarks named in -bench must exist in both files. With an empty -bench,
+// every benchmark present in both files is compared (informational) and
+// gated.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Entry mirrors bench2json's output schema.
+type Entry struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// normalize strips the -GOMAXPROCS suffix so entries compare across machines
+// with different core counts.
+func normalize(name string) string {
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		suffix := name[i+1:]
+		digits := len(suffix) > 0
+		for _, r := range suffix {
+			if r < '0' || r > '9' {
+				digits = false
+				break
+			}
+		}
+		if digits {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+func load(path string) (map[string]Entry, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var entries []Entry
+	if err := json.Unmarshal(raw, &entries); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[string]Entry, len(entries))
+	for _, e := range entries {
+		out[normalize(e.Name)] = e
+	}
+	return out, nil
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_baseline.json", "committed baseline JSON")
+	latestPath := flag.String("latest", "BENCH_latest.json", "freshly generated JSON")
+	benchList := flag.String("bench", "", "comma-separated benchmark names to gate (empty = all common)")
+	maxRegress := flag.Float64("max-regress", 0.25, "allowed fractional ns/op regression before failing")
+	maxAllocsFrac := flag.Float64("max-allocs-frac", 0, "if > 0, fail when allocs/op exceeds this fraction of the baseline's (machine-independent, so it can gate much tighter than ns/op)")
+	flag.Parse()
+
+	base, err := load(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(1)
+	}
+	latest, err := load(*latestPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(1)
+	}
+
+	var names []string
+	if *benchList != "" {
+		names = strings.Split(*benchList, ",")
+	} else {
+		for name := range base {
+			if _, ok := latest[name]; ok {
+				names = append(names, name)
+			}
+		}
+	}
+
+	failed := false
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		b, okB := base[name]
+		l, okL := latest[name]
+		if !okB || !okL {
+			fmt.Fprintf(os.Stderr, "benchdiff: %s missing from %s\n", name, map[bool]string{false: *baselinePath, true: *latestPath}[okB])
+			failed = true
+			continue
+		}
+		bn, ln := b.Metrics["ns/op"], l.Metrics["ns/op"]
+		if bn <= 0 || ln <= 0 {
+			fmt.Fprintf(os.Stderr, "benchdiff: %s has no ns/op metric\n", name)
+			failed = true
+			continue
+		}
+		ratio := ln / bn
+		status := "ok"
+		if ratio > 1+*maxRegress {
+			status = fmt.Sprintf("REGRESSION > %.0f%%", *maxRegress*100)
+			failed = true
+		}
+		ba, la := b.Metrics["allocs/op"], l.Metrics["allocs/op"]
+		if *maxAllocsFrac > 0 && ba > 0 && la > ba**maxAllocsFrac {
+			status = fmt.Sprintf("ALLOCS REGRESSION (%.0f > %.0f%% of baseline %.0f)", la, *maxAllocsFrac*100, ba)
+			failed = true
+		}
+		fmt.Printf("%-32s %14.0f -> %14.0f ns/op  (%.2fx baseline", name, bn, ln, ratio)
+		if ba > 0 || la > 0 {
+			fmt.Printf(", allocs %.0f -> %.0f", ba, la)
+		}
+		fmt.Printf(")  %s\n", status)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
