@@ -9,11 +9,15 @@
 #   make bench-check bench-json + fail on >25% ns/op regression vs
 #                    the committed BENCH_baseline.json (tools/benchdiff)
 #   make figures     quick-scale figure regeneration through the bank cache
+#   make serve       run the noisyevald tuning daemon on $(SERVE_ADDR)
+#   make serve-smoke boot noisyevald, wait on /healthz, run one quick job
+#                    end to end, shut down gracefully (used by CI)
 
-GO        ?= go
-CACHE_DIR ?= $(HOME)/.cache/noisyeval-banks
+GO         ?= go
+CACHE_DIR  ?= $(HOME)/.cache/noisyeval-banks
+SERVE_ADDR ?= 127.0.0.1:8723
 
-.PHONY: build lint test race bench bench-json bench-check figures clean
+.PHONY: build lint test race bench bench-json bench-check figures serve serve-smoke clean
 
 build:
 	$(GO) build ./...
@@ -27,8 +31,9 @@ test: build
 
 race:
 	NOISYEVAL_CACHE_DIR=$(CACHE_DIR) $(GO) test -race \
-		-run 'TestScheduler|TestBankStore|TestBankKey|TestBuildBank|TestSuite' \
+		-run 'TestScheduler|TestBankStore|TestBankKey|TestBuildBank|TestSuite|TestRunKey|TestRunTune' \
 		./internal/core ./internal/exper
+	NOISYEVAL_CACHE_DIR=$(CACHE_DIR) $(GO) test -race ./internal/serve
 
 bench:
 	NOISYEVAL_CACHE_DIR=$(CACHE_DIR) $(GO) test -bench=. -benchtime=1x -run '^$$' . | tee bench.out
@@ -49,6 +54,15 @@ bench-check: bench-json
 
 figures:
 	$(GO) run ./cmd/figures -quick -cache-dir $(CACHE_DIR) -out results
+
+serve:
+	$(GO) run ./cmd/noisyevald -addr $(SERVE_ADDR) -cache-dir $(CACHE_DIR)
+
+# End-to-end daemon smoke: boot, wait for /healthz, submit one quick run,
+# stream it to completion, check the result and a dedup hit, drain on
+# SIGTERM. Identical locally and in CI's serve job.
+serve-smoke: build
+	./tools/serve_smoke.sh $(SERVE_ADDR) $(CACHE_DIR)
 
 clean:
 	rm -f bench.out bench-gated.out BENCH_smoke.json BENCH_latest.json

@@ -10,15 +10,23 @@
 package noisyeval_test
 
 import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"os"
+	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"noisyeval"
 	"noisyeval/internal/core"
 	"noisyeval/internal/exper"
 	"noisyeval/internal/hpo"
 	"noisyeval/internal/rng"
+	"noisyeval/internal/serve"
 	"noisyeval/internal/stats"
 )
 
@@ -160,6 +168,74 @@ func BenchmarkBankBuild(b *testing.B) {
 		if _, err := noisyeval.BuildBank(pop, opts, uint64(i)); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkServeRun measures warm-cache throughput of the noisyevald serving
+// path: after one run completes, every identical POST /v1/runs is absorbed
+// by the content-addressed run key and answered from the cached result bytes
+// — the requests/sec a tuning service sustains on its hot path (no bank
+// training, no tuning, full HTTP round trip).
+func BenchmarkServeRun(b *testing.B) {
+	cfg := exper.Quick()
+	cfg.Scales = map[string]float64{"cifar10": 0.06, "femnist": 0.02, "stackoverflow": 0.002, "reddit": 0.0008}
+	cfg.CapExamples, cfg.BankConfigs, cfg.MaxRounds, cfg.K = 30, 6, 9, 4
+	dir := os.Getenv("NOISYEVAL_CACHE_DIR")
+	if dir == "" {
+		dir = b.TempDir()
+	}
+	store, err := core.NewBankStore(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mgr := serve.NewManager(serve.Options{
+		Store: store, Workers: 2,
+		Scales: map[string]exper.Config{"quick": cfg},
+	})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		mgr.Shutdown(ctx)
+	}()
+	ts := httptest.NewServer(serve.NewServer(mgr))
+	defer ts.Close()
+
+	const body = `{"dataset":"cifar10","method":"rs","trials":3,"seed":11,"noise":{"sample_count":2}}`
+	post := func() *http.Response {
+		resp, err := http.Post(ts.URL+"/v1/runs", "application/json", strings.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		return resp
+	}
+
+	// Warm: submit once and stream events until the run is terminal.
+	resp := post()
+	var st serve.RunStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		b.Fatal(err)
+	}
+	resp.Body.Close()
+	eresp, err := http.Get(ts.URL + "/v1/runs/" + st.ID + "/events")
+	if err != nil {
+		b.Fatal(err)
+	}
+	io.Copy(io.Discard, eresp.Body) // EOF = terminal event delivered
+	eresp.Body.Close()
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp := post()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("warm submit status = %d, want 200 (dedup hit)", resp.StatusCode)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+	if n := mgr.BankBuilds(); n > 1 {
+		b.Fatalf("warm-cache benchmark trained %d banks", n)
 	}
 }
 

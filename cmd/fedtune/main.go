@@ -6,20 +6,20 @@
 //
 //	fedtune -dataset cifar10 -method rs -sample-frac 0.01 -epsilon 100 -trials 8
 //	fedtune -dataset femnist -method bohb -bank results/banks/femnist.bank
+//	fedtune -dataset cifar10 -method tpe -cache-dir ~/.cache/noisyeval-banks
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strings"
 	"time"
 
 	"noisyeval/internal/core"
 	"noisyeval/internal/exper"
 	"noisyeval/internal/hpo"
-	"noisyeval/internal/rng"
-	"noisyeval/internal/stats"
 )
 
 func main() {
@@ -27,9 +27,10 @@ func main() {
 	log.SetPrefix("fedtune: ")
 
 	var (
-		dataset    = flag.String("dataset", "cifar10", "dataset: cifar10|femnist|stackoverflow|reddit")
-		methodName = flag.String("method", "rs", "method: rs|grid|tpe|sha|hb|bohb|reeval|noisybo")
+		dataset    = flag.String("dataset", "cifar10", "dataset: "+strings.Join(exper.DatasetNames, "|"))
+		methodName = flag.String("method", "rs", "method: "+strings.Join(hpo.Methods(), "|"))
 		bankPath   = flag.String("bank", "", "pre-built bank path (default: build a quick bank)")
+		cacheDir   = flag.String("cache-dir", "", "content-addressed bank cache directory (default $NOISYEVAL_CACHE_DIR)")
 		sampleN    = flag.Int("sample-count", 0, "eval clients per evaluation (0 = use -sample-frac)")
 		sampleFrac = flag.Float64("sample-frac", 0, "eval client fraction (0 = full evaluation)")
 		bias       = flag.Float64("bias", 0, "systems-heterogeneity exponent b")
@@ -41,7 +42,7 @@ func main() {
 	)
 	flag.Parse()
 
-	method, err := methodByName(*methodName)
+	method, err := hpo.MethodByName(*methodName)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -53,19 +54,38 @@ func main() {
 	cfg.Seed = *seed
 	suite := exper.NewSuite(cfg)
 
-	var bank *core.Bank
-	if *bankPath != "" {
-		bank, err = core.LoadBank(*bankPath)
+	if dir := cacheDirOrEnv(*cacheDir); dir != "" {
+		store, err := core.NewBankStore(dir)
 		if err != nil {
 			log.Fatal(err)
 		}
+		suite.SetStore(store)
+		log.Printf("bank cache at %s", store.Dir())
+	}
+
+	runDataset := *dataset
+	if *bankPath != "" {
+		bank, err := core.LoadBank(*bankPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// An explicit -dataset must agree with the bank's recorded dataset;
+		// silently retargeting the run would tune against data the user did
+		// not name.
+		datasetSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "dataset" {
+				datasetSet = true
+			}
+		})
+		if datasetSet && *dataset != bank.SpecName {
+			log.Fatalf("-dataset %s conflicts with -bank %s (bank records dataset %s); drop -dataset or pass the matching bank",
+				*dataset, *bankPath, bank.SpecName)
+		}
+		runDataset = bank.SpecName
 		suite.SetBank(bank.SpecName, bank)
-		*dataset = bank.SpecName
 	} else {
-		log.Printf("building %s bank (quick=%v)...", *dataset, *quick)
-		start := time.Now()
-		bank = suite.Bank(*dataset)
-		log.Printf("bank ready in %s", time.Since(start).Round(time.Millisecond))
+		log.Printf("building %s bank (quick=%v)...", runDataset, *quick)
 	}
 
 	noise := core.Noise{
@@ -75,50 +95,42 @@ func main() {
 		Epsilon:        *epsilon,
 		HeterogeneityP: *hetP,
 	}
-	oracle, err := core.NewBankOracle(bank, noise.HeterogeneityP, noise.Scheme(), *seed)
+	req := exper.TuneRequest{
+		Dataset: runDataset,
+		Method:  method,
+		Noise:   noise,
+		Trials:  *trials,
+		Seed:    *seed,
+	}
+
+	log.Printf("tuning %s on %s under [%s], %d trials, budget %d rounds",
+		method.Name(), runDataset, noise, *trials, cfg.Budget().TotalRounds)
+	start := time.Now()
+	res, err := suite.RunTune(req, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
+	if suite.BankBuilds() > 0 {
+		log.Printf("bank trained in-run; total time %s", time.Since(start).Round(time.Millisecond))
+	}
 
-	settings := noise.Settings(hpo.Settings{Budget: cfg.Budget()})
-	tn := core.Tuner{Method: method, Space: hpo.DefaultSpace(), Settings: settings}
-
-	log.Printf("tuning %s on %s under [%s], %d trials, budget %d rounds",
-		method.Name(), *dataset, noise, *trials, settings.Budget.TotalRounds)
-	results := tn.RunTrials(oracle, *trials, rng.New(*seed).Split("fedtune"))
-	finals := core.FinalErrors(results)
-	sum := stats.Summarize(finals)
-
-	fmt.Printf("\n%s on %s [%s]\n", method.Name(), *dataset, noise)
-	fmt.Printf("final full-validation error over %d trials:\n", *trials)
+	fmt.Printf("\n%s on %s [%s]\n", res.Method, res.Dataset, res.Noise)
+	fmt.Printf("final full-validation error over %d trials:\n", res.Trials)
 	fmt.Printf("  median %.2f%%   q1 %.2f%%   q3 %.2f%%   mean %.2f%%\n",
-		sum.Median*100, sum.Q1*100, sum.Q3*100, sum.Mean*100)
-	if rec, ok := results[0].History.Recommend(); ok {
+		res.Summary.Median*100, res.Summary.Q1*100, res.Summary.Q3*100, res.Summary.Mean*100)
+	if rec := res.Best; rec != nil {
 		fmt.Printf("trial-0 chosen config: server lr %.3g (b1 %.2f, b2 %.3f), client lr %.3g (mom %.2f), batch %d\n",
 			rec.Config.ServerLR, rec.Config.Beta1, rec.Config.Beta2,
 			rec.Config.ClientLR, rec.Config.ClientMomentum, rec.Config.BatchSize)
 	}
+	fmt.Printf("run key %s\n", res.RunKey)
 }
 
-func methodByName(name string) (hpo.Method, error) {
-	switch strings.ToLower(name) {
-	case "rs", "random":
-		return hpo.RandomSearch{}, nil
-	case "grid":
-		return hpo.GridSearch{}, nil
-	case "tpe":
-		return hpo.TPE{}, nil
-	case "sha":
-		return hpo.SuccessiveHalving{}, nil
-	case "hb", "hyperband":
-		return hpo.Hyperband{}, nil
-	case "bohb":
-		return hpo.BOHB{}, nil
-	case "reeval":
-		return hpo.ResampledRS{}, nil
-	case "noisybo":
-		return hpo.NoisyBO{}, nil
-	default:
-		return nil, fmt.Errorf("unknown method %q", name)
+// cacheDirOrEnv resolves the cache directory: the explicit flag wins, then
+// NOISYEVAL_CACHE_DIR (the same variable tests and CI use), else none.
+func cacheDirOrEnv(flagVal string) string {
+	if flagVal != "" {
+		return flagVal
 	}
+	return strings.TrimSpace(os.Getenv("NOISYEVAL_CACHE_DIR"))
 }

@@ -1,0 +1,96 @@
+// Command noisyevald serves federated hyperparameter tuning as a service:
+// submit tuning jobs (dataset × method × noise setting) over HTTP, watch
+// per-trial progress, fetch summarized results. Identical submissions are
+// deduplicated by a content-addressed run key, and all runs share one
+// content-addressed bank cache, so the expensive train-once artifacts are
+// built at most once per content address across the daemon's lifetime.
+//
+// Usage:
+//
+//	noisyevald -addr :8723 -cache-dir ~/.cache/noisyeval-banks
+//
+//	curl -s localhost:8723/healthz
+//	curl -s -X POST localhost:8723/v1/runs -d '{"dataset":"cifar10","method":"rs","trials":8,"noise":{"sample_count":3}}'
+//	curl -s localhost:8723/v1/runs/run-000001
+//	curl -sN localhost:8723/v1/runs/run-000001/events
+//	curl -s localhost:8723/v1/banks
+//	curl -s localhost:8723/debug/vars
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: in-flight runs drain, queued
+// runs are cancelled, then the listener closes.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"noisyeval/internal/core"
+	"noisyeval/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("noisyevald: ")
+
+	var (
+		addr         = flag.String("addr", ":8723", "listen address")
+		cacheDir     = flag.String("cache-dir", os.Getenv("NOISYEVAL_CACHE_DIR"), "content-addressed bank cache directory (default $NOISYEVAL_CACHE_DIR)")
+		workers      = flag.Int("workers", 2, "max concurrently executing runs")
+		queueDepth   = flag.Int("queue", 64, "max queued runs before submissions get 503")
+		runTTL       = flag.Duration("run-ttl", 15*time.Minute, "how long finished runs stay fetchable and dedupable (negative = forever)")
+		drainTimeout = flag.Duration("drain-timeout", 2*time.Minute, "graceful-shutdown budget for draining in-flight runs")
+	)
+	flag.Parse()
+
+	var store *core.BankStore
+	if *cacheDir != "" {
+		var err error
+		store, err = core.NewBankStore(*cacheDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("bank cache at %s", store.Dir())
+	} else {
+		log.Printf("no -cache-dir: banks rebuilt per daemon lifetime (in-memory suite cache only)")
+	}
+
+	mgr := serve.NewManager(serve.Options{
+		Store:      store,
+		Workers:    *workers,
+		QueueDepth: *queueDepth,
+		TTL:        *runTTL,
+	})
+	daemon := serve.NewDaemon(*addr, mgr)
+	bound, err := daemon.Listen()
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("serving on %s (workers=%d queue=%d run-ttl=%s)", bound, *workers, *queueDepth, *runTTL)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	done := make(chan error, 1)
+	go func() { done <- daemon.Serve() }()
+
+	select {
+	case err := <-done:
+		if err != nil {
+			log.Fatal(err)
+		}
+	case <-ctx.Done():
+		stop()
+		log.Printf("signal received; draining (budget %s)", *drainTimeout)
+		sctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := daemon.Shutdown(sctx); err != nil {
+			log.Printf("shutdown: %v", err)
+			os.Exit(1)
+		}
+		log.Printf("drained cleanly")
+	}
+}

@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -245,6 +247,40 @@ func (s *BankStore) GetOrBuild(key string, build func() (*Bank, error)) (*Bank, 
 	}
 	c.bank = b
 	return b, nil
+}
+
+// StoreEntry describes one cached bank on disk.
+type StoreEntry struct {
+	Key     string // content address (BankKeyForPopulation)
+	Bytes   int64  // encoded size on disk
+	ModTime int64  // unix seconds of the entry file
+}
+
+// Entries lists the complete cache entries on disk, sorted by key. In-flight
+// temp files are excluded (only atomically renamed `<key>.bank` files are
+// visible entries). A nil store has no entries.
+func (s *BankStore) Entries() ([]StoreEntry, error) {
+	if s == nil {
+		return nil, nil
+	}
+	names, err := filepath.Glob(filepath.Join(s.dir, "*.bank"))
+	if err != nil {
+		return nil, fmt.Errorf("core: bank store list: %w", err)
+	}
+	sort.Strings(names)
+	out := make([]StoreEntry, 0, len(names))
+	for _, name := range names {
+		info, err := os.Stat(name)
+		if err != nil {
+			continue // raced with an eviction; skip
+		}
+		out = append(out, StoreEntry{
+			Key:     strings.TrimSuffix(filepath.Base(name), ".bank"),
+			Bytes:   info.Size(),
+			ModTime: info.ModTime().Unix(),
+		})
+	}
+	return out, nil
 }
 
 // Stats returns a snapshot of the cache counters.

@@ -1,0 +1,51 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/gob"
+	"encoding/hex"
+	"fmt"
+
+	"noisyeval/internal/hpo"
+)
+
+// runKeyVersion is bumped whenever the run-result encoding or the meaning of
+// any hashed field changes, invalidating previously deduplicated runs.
+const runKeyVersion = "runkey-v1"
+
+// RunKey returns the content address of one tuning run: a hex SHA-256 over
+// the bank's content address plus everything else that determines the run's
+// result (method, noise setting, normalized tuning settings, trial count,
+// seed). Tuning from a bank is deterministic in exactly these inputs —
+// RunTrials derives every stochastic choice from the seed and the oracle is
+// read-only — so equal keys mean identical results, the same discipline
+// BankKey applies to banks. noisyevald deduplicates identical POST /v1/runs
+// submissions on this key.
+func RunKey(bankKey, method string, noise Noise, settings hpo.Settings, trials int, seed uint64) string {
+	settings = settings.Normalize()
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\n", runKeyVersion)
+	fmt.Fprintf(h, "bank %s\n", bankKey)
+	fmt.Fprintf(h, "method %s\n", method)
+	fmt.Fprintf(h, "noise %#v\n", noise)
+	fmt.Fprintf(h, "settings %#v\n", settings)
+	fmt.Fprintf(h, "trials %d\n", trials)
+	fmt.Fprintf(h, "seed %d\n", seed)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// BankFingerprint hashes a bank's in-memory content — the exported fields
+// SaveBank persists (the unexported lookup index is derived state). It gives
+// external artifacts loaded via LoadBank a content address even though their
+// build inputs are unknown, so runs against an installed bank key on what
+// the bank actually records rather than on what the suite would have built.
+func BankFingerprint(b *Bank) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\nbank-content\n", runKeyVersion)
+	if err := gob.NewEncoder(h).Encode(b); err != nil {
+		// Bank is plain exported slices/scalars; an encode failure is a
+		// programming error, never data-dependent.
+		panic(fmt.Sprintf("core: bank fingerprint: %v", err))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

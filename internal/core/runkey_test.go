@@ -1,0 +1,46 @@
+package core
+
+import (
+	"testing"
+
+	"noisyeval/internal/hpo"
+)
+
+func TestRunKeyDistinguishesEveryInput(t *testing.T) {
+	base := func() (string, string, Noise, hpo.Settings, int, uint64) {
+		return "bank-a", "rs", Noise{SampleCount: 3}, hpo.Settings{}, 8, 1
+	}
+	bk, m, n, s, tr, seed := base()
+	ref := RunKey(bk, m, n, s, tr, seed)
+
+	if got := RunKey(bk, m, n, s, tr, seed); got != ref {
+		t.Fatal("RunKey not deterministic")
+	}
+
+	variants := map[string]string{
+		"bank":   RunKey("bank-b", m, n, s, tr, seed),
+		"method": RunKey(bk, "tpe", n, s, tr, seed),
+		"noise":  RunKey(bk, m, Noise{SampleCount: 4}, s, tr, seed),
+		"eps":    RunKey(bk, m, Noise{SampleCount: 3, Epsilon: 10}, s, tr, seed),
+		"trials": RunKey(bk, m, n, s, 9, seed),
+		"seed":   RunKey(bk, m, n, s, tr, 2),
+		"budget": RunKey(bk, m, n, hpo.Settings{Budget: hpo.Budget{TotalRounds: 27, MaxPerConfig: 9, K: 3}}, tr, seed),
+	}
+	seen := map[string]string{ref: "base"}
+	for label, key := range variants {
+		if prev, dup := seen[key]; dup {
+			t.Errorf("variant %q collides with %q", label, prev)
+		}
+		seen[key] = label
+	}
+}
+
+func TestRunKeyNormalizesSettings(t *testing.T) {
+	// The zero settings and the explicitly-defaulted settings describe the
+	// same run, so they must hash identically.
+	a := RunKey("bank", "rs", Noise{}, hpo.Settings{}, 4, 1)
+	b := RunKey("bank", "rs", Noise{}, hpo.DefaultSettings(), 4, 1)
+	if a != b {
+		t.Fatal("zero settings and DefaultSettings produced different run keys")
+	}
+}

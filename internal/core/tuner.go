@@ -105,10 +105,22 @@ type TrialResult struct {
 // the RNG stream g.Split("trial-i"), so results are deterministic and
 // independent of scheduling.
 func (t Tuner) RunTrials(oracle *BankOracle, n int, g *rng.RNG) []TrialResult {
+	return t.RunTrialsProgress(oracle, n, g, nil)
+}
+
+// RunTrialsProgress is RunTrials with per-trial progress reporting: onTrial
+// (when non-nil) is invoked once per finished trial — in completion order,
+// serialized by an internal lock, so the callback needs no synchronization of
+// its own — with that trial's result and the number of trials completed so
+// far. The returned slice is identical to RunTrials: progress observation
+// never perturbs results.
+func (t Tuner) RunTrialsProgress(oracle *BankOracle, n int, g *rng.RNG, onTrial func(res TrialResult, completed int)) []TrialResult {
 	results := make([]TrialResult, n)
 	workers := runtime.GOMAXPROCS(0)
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, workers)
+	var progressMu sync.Mutex
+	completed := 0
 	for i := 0; i < n; i++ {
 		wg.Add(1)
 		sem <- struct{}{}
@@ -122,6 +134,12 @@ func (t Tuner) RunTrials(oracle *BankOracle, n int, g *rng.RNG) []TrialResult {
 				res.FinalTrue = rec.True
 			}
 			results[i] = res
+			if onTrial != nil {
+				progressMu.Lock()
+				completed++
+				onTrial(res, completed)
+				progressMu.Unlock()
+			}
 		}(i)
 	}
 	wg.Wait()

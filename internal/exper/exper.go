@@ -147,7 +147,10 @@ type Suite struct {
 	mu    sync.Mutex
 	pops  map[string]*popEntry
 	banks map[string]*bankEntry
-	pool  []fl.HParams // shared config pool across datasets
+	// installed marks banks supplied via SetBank (external artifacts whose
+	// build inputs are unknown; run keys fingerprint their content instead).
+	installed map[string]bool
+	pool      []fl.HParams // shared config pool across datasets
 
 	builds atomic.Int64 // banks actually trained (cache hits excluded)
 }
@@ -165,9 +168,10 @@ type bankEntry struct {
 // NewSuite prepares a suite (populations and banks are created on demand).
 func NewSuite(cfg Config) *Suite {
 	return &Suite{
-		Cfg:   cfg,
-		pops:  map[string]*popEntry{},
-		banks: map[string]*bankEntry{},
+		Cfg:       cfg,
+		pops:      map[string]*popEntry{},
+		banks:     map[string]*bankEntry{},
+		installed: map[string]bool{},
 	}
 }
 
@@ -249,19 +253,40 @@ func (s *Suite) buildCached(label string, pop *data.Population, opts core.BuildO
 	return b
 }
 
+// BankBuildInputs returns the exact inputs Bank(name) hands to the bank
+// builder: the scaled dataset spec, the build options (shared pool included),
+// and the seed. Exposed so callers can compute the bank's content address
+// (core.BankKey) — and from it a run key — without forcing the build; the
+// population itself is deterministic in (spec, Cfg.Seed), so the
+// spec/options/seed triple fully determines bank content.
+func (s *Suite) BankBuildInputs(name string) (data.Spec, core.BuildOptions, uint64) {
+	opts := core.DefaultBuildOptions()
+	opts.NumConfigs = s.Cfg.BankConfigs
+	opts.MaxRounds = s.Cfg.MaxRounds
+	opts.Partitions = []float64{0.5, 1}
+	opts.Workers = s.Cfg.Workers
+	opts.Configs = s.SharedPool()
+	return s.Cfg.spec(name), opts, s.Cfg.Seed + uint64(len(name))
+}
+
 // Bank returns (building if needed) the dataset's config bank with
 // partitions p ∈ {0, 0.5, 1} and the shared pool.
 func (s *Suite) Bank(name string) *core.Bank {
 	return s.bankFor(name, func() *core.Bank {
 		pop := s.Population(name)
-		opts := core.DefaultBuildOptions()
-		opts.NumConfigs = s.Cfg.BankConfigs
-		opts.MaxRounds = s.Cfg.MaxRounds
-		opts.Partitions = []float64{0.5, 1}
-		opts.Workers = s.Cfg.Workers
-		opts.Configs = s.SharedPool()
-		return s.buildCached(name, pop, opts, s.Cfg.Seed+uint64(len(name)))
+		_, opts, seed := s.BankBuildInputs(name)
+		return s.buildCached(name, pop, opts, seed)
 	})
+}
+
+// KnownDataset reports whether name is one of the study's datasets.
+func KnownDataset(name string) bool {
+	for _, d := range DatasetNames {
+		if d == name {
+			return true
+		}
+	}
+	return false
 }
 
 // SetBank installs a pre-built bank (cmd/figures loads banks built by
@@ -272,9 +297,20 @@ func (s *Suite) SetBank(name string, b *core.Bank) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.banks[name] = e
+	s.installed[name] = true
 	if s.pool == nil {
 		s.pool = b.Configs
 	}
+}
+
+// installedBank returns the bank SetBank supplied for name, if any.
+func (s *Suite) installedBank(name string) (*core.Bank, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.installed[name] {
+		return nil, false
+	}
+	return s.banks[name].bank, true
 }
 
 // DecadeBank returns the Figure-13 bank for (dataset, decades): its own pool

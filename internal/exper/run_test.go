@@ -1,0 +1,216 @@
+package exper
+
+import (
+	"strings"
+	"testing"
+
+	"noisyeval/internal/core"
+	"noisyeval/internal/hpo"
+	"noisyeval/internal/rng"
+)
+
+// tinyConfig is a miniature of Quick(): banks build in tens of
+// milliseconds, so run tests stay fast without a warm cache.
+func tinyConfig() Config {
+	return Config{
+		Scales:        map[string]float64{"cifar10": 0.06, "femnist": 0.02, "stackoverflow": 0.002, "reddit": 0.0008},
+		CapExamples:   30,
+		BankConfigs:   6,
+		MaxRounds:     9,
+		K:             4,
+		Trials:        4,
+		MethodTrials:  2,
+		Seed:          7,
+		Fig13Datasets: []string{"cifar10"},
+		Fig13Configs:  4,
+	}
+}
+
+func TestRunTuneDeterministicAndKeyed(t *testing.T) {
+	s := NewSuite(tinyConfig())
+	req := TuneRequest{
+		Dataset: "cifar10",
+		Method:  hpo.RandomSearch{},
+		Noise:   core.Noise{SampleCount: 2},
+		Trials:  3,
+		Seed:    11,
+	}
+	a, err := s.RunTune(req, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.RunTune(req, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.RunKey == "" || a.BankKey == "" {
+		t.Fatal("missing content keys")
+	}
+	if a.RunKey != b.RunKey {
+		t.Error("identical requests produced different run keys")
+	}
+	if len(a.Finals) != 3 || len(b.Finals) != 3 {
+		t.Fatalf("finals = %d/%d, want 3", len(a.Finals), len(b.Finals))
+	}
+	for i := range a.Finals {
+		if a.Finals[i] != b.Finals[i] {
+			t.Fatalf("trial %d: %v vs %v (run not deterministic)", i, a.Finals[i], b.Finals[i])
+		}
+	}
+
+	req.Seed = 12
+	c, err := s.RunTune(req, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.RunKey == a.RunKey {
+		t.Error("different seeds share a run key")
+	}
+
+	if got, err := s.RunKeyFor(req); err != nil || got != c.RunKey {
+		t.Errorf("RunKeyFor = %q, %v; want %q", got, err, c.RunKey)
+	}
+}
+
+// TestRunTuneMatchesDirectPath pins the extraction: RunTune must reproduce
+// exactly what cmd/fedtune's inline code produced (same oracle construction,
+// settings, and trial RNG stream).
+func TestRunTuneMatchesDirectPath(t *testing.T) {
+	cfg := tinyConfig()
+	s := NewSuite(cfg)
+	noise := core.Noise{SampleCount: 2, Bias: 0.5}
+	const seed, trials = 3, 3
+
+	res, err := s.RunTune(TuneRequest{
+		Dataset: "cifar10", Method: hpo.TPE{}, Noise: noise, Trials: trials, Seed: seed,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bank := s.Bank("cifar10")
+	oracle, err := core.NewBankOracle(bank, noise.HeterogeneityP, noise.Scheme(), seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	settings := noise.Settings(hpo.Settings{Budget: cfg.Budget()})
+	tn := core.Tuner{Method: hpo.TPE{}, Space: hpo.DefaultSpace(), Settings: settings}
+	want := core.FinalErrors(tn.RunTrials(oracle, trials, rng.New(seed).Split("fedtune")))
+
+	for i := range want {
+		if res.Finals[i] != want[i] {
+			t.Fatalf("trial %d: RunTune %v vs direct %v", i, res.Finals[i], want[i])
+		}
+	}
+}
+
+func TestRunTuneProgress(t *testing.T) {
+	s := NewSuite(tinyConfig())
+	const trials = 4
+	var updates []TrialUpdate
+	res, err := s.RunTune(TuneRequest{
+		Dataset: "femnist", Method: hpo.RandomSearch{}, Trials: trials, Seed: 1,
+	}, func(u TrialUpdate) { updates = append(updates, u) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(updates) != trials {
+		t.Fatalf("got %d updates, want %d", len(updates), trials)
+	}
+	seen := map[int]bool{}
+	for i, u := range updates {
+		if u.Completed != i+1 || u.Total != trials {
+			t.Errorf("update %d: completed=%d total=%d", i, u.Completed, u.Total)
+		}
+		if seen[u.Trial] {
+			t.Errorf("trial %d reported twice", u.Trial)
+		}
+		seen[u.Trial] = true
+		if u.FinalTrue != res.Finals[u.Trial] {
+			t.Errorf("trial %d: update error %v != result %v", u.Trial, u.FinalTrue, res.Finals[u.Trial])
+		}
+	}
+}
+
+func TestRunTuneValidation(t *testing.T) {
+	s := NewSuite(tinyConfig())
+	cases := []struct {
+		name string
+		req  TuneRequest
+		want string
+	}{
+		{"unknown dataset", TuneRequest{Dataset: "mnist", Method: hpo.RandomSearch{}, Trials: 1}, "unknown dataset"},
+		{"nil method", TuneRequest{Dataset: "cifar10", Trials: 1}, "method"},
+		{"zero trials", TuneRequest{Dataset: "cifar10", Method: hpo.RandomSearch{}}, "trials"},
+		{"bad partition", TuneRequest{Dataset: "cifar10", Method: hpo.RandomSearch{}, Trials: 1,
+			Noise: core.Noise{HeterogeneityP: 0.25}}, "p=0.25"},
+	}
+	for _, tc := range cases {
+		if _, err := s.RunTune(tc.req, nil); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want mention of %q", tc.name, err, tc.want)
+		}
+	}
+	if s.BankBuilds() != 0 {
+		t.Errorf("validation failures trained %d banks", s.BankBuilds())
+	}
+}
+
+// TestRunTuneInstalledBankKeys pins the "equal keys mean identical results"
+// invariant for banks installed via SetBank: a run against an external
+// artifact must key on the artifact's content, not on the bank the suite
+// would have built — two different installed banks must not share a run key.
+func TestRunTuneInstalledBankKeys(t *testing.T) {
+	cfg := tinyConfig()
+	req := TuneRequest{Dataset: "cifar10", Method: hpo.RandomSearch{}, Trials: 2, Seed: 1}
+
+	builtSuite := NewSuite(cfg)
+	builtKey, err := builtSuite.RunKeyFor(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Two banks with different content for the same dataset name.
+	keys := make([]string, 2)
+	for i, nc := range []int{4, 5} {
+		s := NewSuite(cfg)
+		pop := s.Population("cifar10")
+		opts := core.DefaultBuildOptions()
+		opts.NumConfigs = nc
+		opts.MaxRounds = 9
+		bank, err := core.BuildBank(pop, opts, 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s2 := NewSuite(cfg)
+		s2.SetBank("cifar10", bank)
+		res, err := s2.RunTune(req, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.HasPrefix(res.BankKey, "installed-") {
+			t.Errorf("installed bank key = %q, want installed- prefix", res.BankKey)
+		}
+		if res.RunKey == builtKey {
+			t.Error("installed bank shares a run key with the suite-built bank")
+		}
+		if got, err := s2.RunKeyFor(req); err != nil || got != res.RunKey {
+			t.Errorf("RunKeyFor = %q, %v; want %q", got, err, res.RunKey)
+		}
+		keys[i] = res.RunKey
+	}
+	if keys[0] == keys[1] {
+		t.Error("two different installed banks share a run key")
+	}
+}
+
+func TestRunKeyForDoesNotBuildBanks(t *testing.T) {
+	s := NewSuite(tinyConfig())
+	if _, err := s.RunKeyFor(TuneRequest{
+		Dataset: "reddit", Method: hpo.BOHB{}, Trials: 2, Seed: 5,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if s.BankBuilds() != 0 {
+		t.Errorf("RunKeyFor trained %d banks", s.BankBuilds())
+	}
+}

@@ -1,0 +1,67 @@
+package hpo
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// methodRegistry maps every accepted method spelling (canonical name plus
+// aliases, all lower-case) to a constructor returning a fresh zero-configured
+// method value. cmd/fedtune and the noisyevald server share this table, so a
+// method registered here is immediately reachable from both entry points.
+var methodRegistry = map[string]func() Method{
+	"rs":        func() Method { return RandomSearch{} },
+	"random":    func() Method { return RandomSearch{} },
+	"grid":      func() Method { return GridSearch{} },
+	"tpe":       func() Method { return TPE{} },
+	"sha":       func() Method { return SuccessiveHalving{} },
+	"hb":        func() Method { return Hyperband{} },
+	"hyperband": func() Method { return Hyperband{} },
+	"bohb":      func() Method { return BOHB{} },
+	"reeval":    func() Method { return ResampledRS{} },
+	"noisybo":   func() Method { return NoisyBO{} },
+}
+
+// methodAliases maps each non-canonical spelling (excluded from Methods())
+// to its canonical registry name.
+var methodAliases = map[string]string{"random": "rs", "hyperband": "hb"}
+
+// Methods returns the canonical registry names, sorted, for listings and
+// error messages ("rs", "grid", "tpe", "sha", "hb", "bohb", "reeval",
+// "noisybo").
+func Methods() []string {
+	out := make([]string, 0, len(methodRegistry))
+	for name := range methodRegistry {
+		if _, isAlias := methodAliases[name]; !isAlias {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MethodByName resolves a method name (case-insensitive; aliases "random"
+// and "hyperband" accepted) to a method value with default configuration.
+// Unknown names produce an error naming the valid choices.
+func MethodByName(name string) (Method, error) {
+	if ctor, ok := methodRegistry[strings.ToLower(strings.TrimSpace(name))]; ok {
+		return ctor(), nil
+	}
+	return nil, fmt.Errorf("hpo: unknown method %q (valid: %s)", name, strings.Join(Methods(), ", "))
+}
+
+// CanonicalMethodName resolves a method name or alias to its canonical
+// registry spelling (used by content-addressed run keys, where "hb" and
+// "hyperband" must hash identically). Unknown names return an error naming
+// the valid choices.
+func CanonicalMethodName(name string) (string, error) {
+	n := strings.ToLower(strings.TrimSpace(name))
+	if canon, ok := methodAliases[n]; ok {
+		n = canon
+	}
+	if _, ok := methodRegistry[n]; !ok {
+		return "", fmt.Errorf("hpo: unknown method %q (valid: %s)", name, strings.Join(Methods(), ", "))
+	}
+	return n, nil
+}

@@ -1,0 +1,80 @@
+package hpo
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMethodsListing(t *testing.T) {
+	want := []string{"bohb", "grid", "hb", "noisybo", "reeval", "rs", "sha", "tpe"}
+	got := Methods()
+	if len(got) != len(want) {
+		t.Fatalf("Methods() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Methods() = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestMethodByNameResolvesEveryListing(t *testing.T) {
+	for _, name := range Methods() {
+		m, err := MethodByName(name)
+		if err != nil {
+			t.Fatalf("MethodByName(%q): %v", name, err)
+		}
+		if m.Name() == "" {
+			t.Fatalf("MethodByName(%q) returned method with empty display name", name)
+		}
+	}
+}
+
+func TestMethodByNameAliasesAndCase(t *testing.T) {
+	cases := map[string]string{
+		"RS":        "RS",
+		"random":    "RS",
+		"Hyperband": "HB",
+		"hb":        "HB",
+		" bohb ":    "BOHB",
+	}
+	for in, want := range cases {
+		m, err := MethodByName(in)
+		if err != nil {
+			t.Fatalf("MethodByName(%q): %v", in, err)
+		}
+		if m.Name() != want {
+			t.Errorf("MethodByName(%q).Name() = %q, want %q", in, m.Name(), want)
+		}
+	}
+}
+
+func TestMethodByNameUnknownNamesChoices(t *testing.T) {
+	_, err := MethodByName("gradient-descent")
+	if err == nil {
+		t.Fatal("expected error for unknown method")
+	}
+	for _, name := range Methods() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not name valid choice %q", err, name)
+		}
+	}
+}
+
+func TestCanonicalMethodName(t *testing.T) {
+	cases := map[string]string{
+		"random": "rs", "RS": "rs", "hyperband": "hb", "HB": "hb", "tpe": "tpe",
+	}
+	for in, want := range cases {
+		got, err := CanonicalMethodName(in)
+		if err != nil {
+			t.Fatalf("CanonicalMethodName(%q): %v", in, err)
+		}
+		if got != want {
+			t.Errorf("CanonicalMethodName(%q) = %q, want %q", in, got, want)
+		}
+	}
+	if _, err := CanonicalMethodName("nope"); err == nil {
+		t.Fatal("expected error for unknown method")
+	}
+}

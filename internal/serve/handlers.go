@@ -1,0 +1,321 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Server is the HTTP facade over a Manager. Routes:
+//
+//	POST /v1/runs             submit a tuning job (202; 200 on a dedup hit)
+//	GET  /v1/runs             list retained runs
+//	GET  /v1/runs/{id}        run status/result (ETag + If-None-Match → 304)
+//	GET  /v1/runs/{id}/events per-trial progress stream (NDJSON; SSE via
+//	                          Accept: text/event-stream)
+//	GET  /v1/banks            cached banks in the shared store
+//	GET  /healthz             liveness + queue depth
+//	GET  /debug/vars          expvar counters (runs, bank cache, HTTP)
+type Server struct {
+	mgr     *Manager
+	mux     *http.ServeMux
+	start   time.Time
+	vars    *expvar.Map // runs_*/bank_cache_*/http_* counters, JSON at /debug/vars
+	inFl    atomic.Int64
+	total   atomic.Int64
+	maxBody int64
+}
+
+// NewServer wires the routes for a manager.
+func NewServer(m *Manager) *Server {
+	s := &Server{
+		mgr:     m,
+		mux:     http.NewServeMux(),
+		start:   time.Now(),
+		vars:    new(expvar.Map).Init(),
+		maxBody: 1 << 20,
+	}
+	s.mux.HandleFunc("POST /v1/runs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/runs", s.handleList)
+	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleRun)
+	s.mux.HandleFunc("GET /v1/runs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /v1/banks", s.handleBanks)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /debug/vars", s.handleVars)
+	return s
+}
+
+// ServeHTTP implements http.Handler with in-flight/total accounting.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.inFl.Add(1)
+	s.total.Add(1)
+	defer s.inFl.Add(-1)
+	s.mux.ServeHTTP(w, r)
+}
+
+// errorBody is every non-2xx JSON response.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) // the status line is already out; nothing to do on error
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// handleSubmit implements POST /v1/runs: decode, submit (dedup +
+// backpressure live in the manager), answer with the run snapshot. A fresh
+// run answers 202 + Location; a dedup hit answers 200 — with the cached
+// terminal bytes when the absorbed run already finished, so identical
+// submissions observe identical result bytes.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req RunRequest
+	dec := json.NewDecoder(io.LimitReader(r.Body, s.maxBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decode request: %v", err)
+		return
+	}
+	run, created, err := s.mgr.Submit(req)
+	switch {
+	case errors.Is(err, ErrBadRequest):
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case errors.Is(err, ErrShuttingDown):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	w.Header().Set("Location", "/v1/runs/"+run.ID)
+	if created {
+		st, _, _ := run.Snapshot()
+		writeJSON(w, http.StatusAccepted, st)
+		return
+	}
+	st, body, etag := run.Snapshot()
+	if body != nil {
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("ETag", etag)
+		w.WriteHeader(http.StatusOK)
+		w.Write(body)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// etagMatches implements If-None-Match per RFC 9110 §13.1.2: a
+// comma-separated list of entity tags (weak prefixes compare equal for GET)
+// or the wildcard "*".
+func etagMatches(header, etag string) bool {
+	if header == "" {
+		return false
+	}
+	for _, part := range strings.Split(header, ",") {
+		part = strings.TrimSpace(part)
+		if part == "*" || strings.TrimPrefix(part, "W/") == etag {
+			return true
+		}
+	}
+	return false
+}
+
+// runListItem is one row of GET /v1/runs.
+type runListItem struct {
+	ID         string `json:"id"`
+	Key        string `json:"key"`
+	State      State  `json:"state"`
+	Dataset    string `json:"dataset"`
+	Method     string `json:"method"`
+	Scale      string `json:"scale"`
+	TrialsDone int    `json:"trials_done"`
+	Trials     int    `json:"trials_total"`
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	runs := s.mgr.Registry().List()
+	out := make([]runListItem, 0, len(runs))
+	for _, run := range runs {
+		st, _, _ := run.Snapshot()
+		out = append(out, runListItem{
+			ID: st.ID, Key: st.Key, State: st.State,
+			Dataset: st.Request.Dataset, Method: st.Request.Method, Scale: st.Request.Scale,
+			TrialsDone: st.TrialsDone, Trials: st.TrialsTotal,
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"runs": out})
+}
+
+// handleRun implements GET /v1/runs/{id}. Terminal runs serve their cached
+// bytes under a strong ETag; If-None-Match short-circuits to 304.
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	run, ok := s.mgr.Registry().Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no run %q (expired or never submitted)", r.PathValue("id"))
+		return
+	}
+	st, body, etag := run.Snapshot()
+	if body == nil {
+		writeJSON(w, http.StatusOK, st)
+		return
+	}
+	w.Header().Set("ETag", etag)
+	if etagMatches(r.Header.Get("If-None-Match"), etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(body)
+}
+
+// handleEvents streams a run's event history plus live events until the
+// terminal event. Default framing is NDJSON (one JSON event per line);
+// Accept: text/event-stream switches to SSE.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	run, ok := s.mgr.Registry().Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no run %q (expired or never submitted)", r.PathValue("id"))
+		return
+	}
+	flusher, _ := w.(http.Flusher)
+	sse := strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+	if sse {
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	w.WriteHeader(http.StatusOK)
+
+	writeEvent := func(e Event) bool {
+		data, err := json.Marshal(e)
+		if err != nil {
+			return false
+		}
+		if sse {
+			fmt.Fprintf(w, "event: %s\ndata: %s\n\n", e.Type, data)
+		} else {
+			w.Write(data)
+			io.WriteString(w, "\n")
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+
+	replay, live, cancel := run.Subscribe()
+	defer cancel()
+	for _, e := range replay {
+		if !writeEvent(e) {
+			return
+		}
+	}
+	for {
+		select {
+		case e, ok := <-live:
+			if !ok {
+				return // terminal event delivered; stream complete
+			}
+			if !writeEvent(e) {
+				return
+			}
+		case <-r.Context().Done():
+			return // client went away
+		}
+	}
+}
+
+// bankEntry is one row of GET /v1/banks.
+type bankEntry struct {
+	Key     string `json:"key"`
+	Bytes   int64  `json:"bytes"`
+	ModTime string `json:"mod_time"`
+}
+
+func (s *Server) handleBanks(w http.ResponseWriter, r *http.Request) {
+	store := s.mgr.Store()
+	if store == nil {
+		writeJSON(w, http.StatusOK, map[string]any{"dir": "", "banks": []bankEntry{}})
+		return
+	}
+	entries, err := store.Entries()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "list banks: %v", err)
+		return
+	}
+	out := make([]bankEntry, 0, len(entries))
+	for _, e := range entries {
+		out = append(out, bankEntry{
+			Key: e.Key, Bytes: e.Bytes,
+			ModTime: time.Unix(e.ModTime, 0).UTC().Format(time.RFC3339),
+		})
+	}
+	st := store.Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"dir":   store.Dir(),
+		"banks": out,
+		"stats": map[string]int64{
+			"hits": st.Hits, "misses": st.Misses, "builds": st.Builds, "evicted": st.Evicted,
+		},
+	})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	c := s.mgr.Counters()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":      "ok",
+		"uptime":      time.Since(s.start).Round(time.Millisecond).String(),
+		"runs_active": c.RunsActive,
+		"runs_queued": c.RunsQueued,
+	})
+}
+
+// handleVars serves the expvar counter map. Counters are refreshed into the
+// map on each request (the map is per-server, not the process-global expvar
+// registry, so multiple servers — e.g. in tests — never collide).
+func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {
+	c := s.mgr.Counters()
+	setInt := func(name string, v int64) {
+		n := new(expvar.Int)
+		n.Set(v)
+		s.vars.Set(name, n)
+	}
+	setInt("runs_started", c.RunsStarted)
+	setInt("runs_completed", c.RunsCompleted)
+	setInt("runs_failed", c.RunsFailed)
+	setInt("runs_cancelled", c.RunsCancelled)
+	setInt("runs_deduped", c.RunsDeduped)
+	setInt("runs_active", c.RunsActive)
+	setInt("runs_queued", c.RunsQueued)
+	setInt("runs_retained", c.RunsRetained)
+	st := s.mgr.Store().Stats() // nil-safe: zero stats without a store
+	setInt("bank_cache_hits", st.Hits)
+	setInt("bank_cache_misses", st.Misses)
+	setInt("bank_cache_builds", st.Builds)
+	setInt("bank_cache_evicted", st.Evicted)
+	setInt("bank_builds_trained", s.mgr.BankBuilds())
+	setInt("http_requests_in_flight", s.inFl.Load())
+	setInt("http_requests_total", s.total.Load())
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintln(w, s.vars.String())
+}

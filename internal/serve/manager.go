@@ -1,0 +1,322 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"noisyeval/internal/core"
+	"noisyeval/internal/exper"
+)
+
+// Submission outcomes the HTTP layer maps to status codes.
+var (
+	// ErrBadRequest wraps request validation failures (HTTP 400).
+	ErrBadRequest = errors.New("bad request")
+	// ErrQueueFull signals backpressure: the bounded queue is at capacity
+	// (HTTP 503 + Retry-After).
+	ErrQueueFull = errors.New("run queue full")
+	// ErrShuttingDown rejects submissions during graceful shutdown (503).
+	ErrShuttingDown = errors.New("server shutting down")
+)
+
+// Options configures a Manager. The zero value works: quick/full scales, a
+// nil (always-miss) bank store, and small defaults for pool and queue.
+type Options struct {
+	// Store is the shared content-addressed bank cache (nil = no cache).
+	Store *core.BankStore
+	// Workers bounds concurrently executing runs (default 2).
+	Workers int
+	// QueueDepth bounds queued-but-not-running runs; a full queue rejects
+	// submissions with ErrQueueFull (default 64).
+	QueueDepth int
+	// TTL is how long terminal runs stay fetchable and dedupable
+	// (0 = default 15m; negative = retain forever).
+	TTL time.Duration
+	// Scales maps scale name → suite configuration
+	// (default {"quick": exper.Quick(), "full": exper.Default()}).
+	Scales map[string]exper.Config
+
+	// execGate, when set, is called by a worker immediately before a run
+	// executes. Test hook: lets shutdown tests hold a run in-flight
+	// deterministically.
+	execGate func(*Run)
+}
+
+// Counters is a snapshot of the manager's operational counters, surfaced at
+// /debug/vars.
+type Counters struct {
+	RunsStarted   int64 `json:"runs_started"`
+	RunsCompleted int64 `json:"runs_completed"`
+	RunsFailed    int64 `json:"runs_failed"`
+	RunsCancelled int64 `json:"runs_cancelled"`
+	RunsDeduped   int64 `json:"runs_deduped"`
+	RunsActive    int64 `json:"runs_active"`
+	RunsQueued    int64 `json:"runs_queued"`
+	RunsRetained  int64 `json:"runs_retained"`
+}
+
+// Manager owns the run lifecycle: it validates and keys submissions,
+// deduplicates them through the registry, and executes them on a bounded
+// worker pool. All runs of one scale share one exper.Suite, so populations,
+// the shared config pool, and banks are built once and reused; the suites in
+// turn share Options.Store, whose singleflight GetOrBuild collapses
+// concurrent bank builds across runs.
+type Manager struct {
+	opts Options
+	reg  *Registry
+
+	queue chan *Run
+	wg    sync.WaitGroup // worker goroutines
+
+	mu        sync.Mutex
+	suites    map[string]*exper.Suite
+	closed    bool
+	drainDone chan struct{} // created by the first Shutdown, closed when drained
+
+	janitorStop chan struct{}
+
+	started, completed, failed, cancelled, deduped, active, queued atomic.Int64
+}
+
+// NewManager starts a manager (worker pool and TTL janitor included).
+func NewManager(opts Options) *Manager {
+	if opts.Workers <= 0 {
+		opts.Workers = 2
+	}
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = 64
+	}
+	if opts.TTL == 0 {
+		opts.TTL = 15 * time.Minute
+	}
+	if opts.Scales == nil {
+		opts.Scales = map[string]exper.Config{
+			"quick": exper.Quick(),
+			"full":  exper.Default(),
+		}
+	}
+	m := &Manager{
+		opts:        opts,
+		reg:         NewRegistry(opts.TTL),
+		queue:       make(chan *Run, opts.QueueDepth),
+		suites:      map[string]*exper.Suite{},
+		janitorStop: make(chan struct{}),
+	}
+	for i := 0; i < opts.Workers; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	go m.janitor()
+	return m
+}
+
+// Registry exposes the run store (handlers read it).
+func (m *Manager) Registry() *Registry { return m.reg }
+
+// Store returns the shared bank cache (nil when none).
+func (m *Manager) Store() *core.BankStore { return m.opts.Store }
+
+// ScaleNames returns the accepted scale names, sorted small-to-large by
+// convention ("quick" before "full" when both exist).
+func (m *Manager) ScaleNames() []string {
+	names := make([]string, 0, len(m.opts.Scales))
+	if _, ok := m.opts.Scales["quick"]; ok {
+		names = append(names, "quick")
+	}
+	for name := range m.opts.Scales {
+		if name != "quick" {
+			names = append(names, name)
+		}
+	}
+	return names
+}
+
+// suiteFor lazily creates the shared suite for a scale.
+func (m *Manager) suiteFor(scale string) (*exper.Suite, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if s, ok := m.suites[scale]; ok {
+		return s, nil
+	}
+	cfg, ok := m.opts.Scales[scale]
+	if !ok {
+		return nil, fmt.Errorf("%w: unknown scale %q", ErrBadRequest, scale)
+	}
+	s := exper.NewSuite(cfg)
+	s.SetStore(m.opts.Store)
+	m.suites[scale] = s
+	return s, nil
+}
+
+// Submit validates, keys, and enqueues one run request. created is false
+// when an identical live or retained run absorbed the submission (the dedup
+// path — no new work is scheduled). Errors wrap ErrBadRequest, ErrQueueFull,
+// or ErrShuttingDown.
+func (m *Manager) Submit(req RunRequest) (run *Run, created bool, err error) {
+	req.Normalize()
+	if err := req.Validate(m.ScaleNames()); err != nil {
+		return nil, false, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	treq, err := req.TuneRequest()
+	if err != nil {
+		return nil, false, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	suite, err := m.suiteFor(req.Scale)
+	if err != nil {
+		return nil, false, err
+	}
+	key, err := suite.RunKeyFor(treq)
+	if err != nil {
+		return nil, false, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, false, ErrShuttingDown
+	}
+	run, created = m.reg.GetOrCreate(key, req, treq)
+	if !created {
+		m.deduped.Add(1)
+		return run, false, nil
+	}
+	select {
+	case m.queue <- run:
+		m.queued.Add(1)
+	default:
+		m.reg.Remove(run)
+		return nil, false, ErrQueueFull
+	}
+	return run, true, nil
+}
+
+// worker executes queued runs until the queue closes. During shutdown the
+// remaining queued runs are cancelled instead of executed — in-flight runs
+// drain, queued ones don't start.
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for run := range m.queue {
+		m.queued.Add(-1)
+		if m.draining() {
+			m.cancelled.Add(1)
+			run.finish(StateCancelled, nil, "server shutting down before run started", time.Now())
+			continue
+		}
+		m.execute(run)
+	}
+}
+
+func (m *Manager) draining() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.closed
+}
+
+// execute runs one job end to end. RunTune recovers driver panics into
+// errors, so a poisoned request fails its own run instead of killing the
+// worker.
+func (m *Manager) execute(run *Run) {
+	if gate := m.opts.execGate; gate != nil {
+		gate(run)
+	}
+	m.started.Add(1)
+	m.active.Add(1)
+	defer m.active.Add(-1)
+	run.start(time.Now())
+
+	suite, err := m.suiteFor(run.Req.Scale)
+	if err != nil {
+		m.failed.Add(1)
+		run.finish(StateFailed, nil, err.Error(), time.Now())
+		return
+	}
+	res, err := suite.RunTune(run.treq, run.trial)
+	if err != nil {
+		m.failed.Add(1)
+		run.finish(StateFailed, nil, err.Error(), time.Now())
+		return
+	}
+	m.completed.Add(1)
+	run.finish(StateDone, res, "", time.Now())
+}
+
+// janitor sweeps the registry so TTL eviction happens even on an idle
+// daemon (accesses also sweep; this bounds retention between accesses).
+func (m *Manager) janitor() {
+	interval := m.opts.TTL / 4
+	if interval <= 0 {
+		return
+	}
+	if interval > time.Minute {
+		interval = time.Minute
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			m.reg.Sweep()
+		case <-m.janitorStop:
+			return
+		}
+	}
+}
+
+// Counters snapshots the operational counters.
+func (m *Manager) Counters() Counters {
+	return Counters{
+		RunsStarted:   m.started.Load(),
+		RunsCompleted: m.completed.Load(),
+		RunsFailed:    m.failed.Load(),
+		RunsCancelled: m.cancelled.Load(),
+		RunsDeduped:   m.deduped.Load(),
+		RunsActive:    m.active.Load(),
+		RunsQueued:    m.queued.Load(),
+		RunsRetained:  int64(m.reg.Len()),
+	}
+}
+
+// BankBuilds reports how many banks the manager's suites actually trained
+// (cache hits excluded) — the number the dedup/caching tests pin to 1.
+func (m *Manager) BankBuilds() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var n int64
+	for _, s := range m.suites {
+		n += s.BankBuilds()
+	}
+	return n
+}
+
+// Shutdown drains the manager gracefully: no new submissions are accepted,
+// queued runs are cancelled, and in-flight runs are given until ctx expires
+// to complete. It returns ctx.Err() if draining did not finish in time (the
+// affected runs keep executing; their results are simply not awaited).
+// Concurrent and repeated calls all wait on the same drain — nil is only
+// ever returned once draining has actually finished.
+func (m *Manager) Shutdown(ctx context.Context) error {
+	m.mu.Lock()
+	if !m.closed {
+		m.closed = true
+		close(m.queue)
+		close(m.janitorStop)
+		m.drainDone = make(chan struct{})
+		go func(done chan struct{}) {
+			m.wg.Wait()
+			close(done)
+		}(m.drainDone)
+	}
+	done := m.drainDone
+	m.mu.Unlock()
+
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,140 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"noisyeval/internal/exper"
+)
+
+// Registry is the in-memory run store: runs by ID plus a dedup index by
+// content-addressed run key. Terminal runs are retained for ttl after they
+// finish (so clients can fetch results and identical submissions keep
+// hitting the cached run), then evicted — the daemon's memory stays bounded
+// under sustained traffic. Live runs are never evicted.
+type Registry struct {
+	ttl time.Duration
+	now func() time.Time // injectable clock (tests)
+
+	mu     sync.Mutex
+	runs   map[string]*Run // by ID
+	byKey  map[string]*Run // dedup index by run key
+	nextID int
+}
+
+// NewRegistry creates a registry retaining terminal runs for ttl
+// (non-positive ttl means retain forever).
+func NewRegistry(ttl time.Duration) *Registry {
+	return &Registry{
+		ttl:   ttl,
+		now:   time.Now,
+		runs:  map[string]*Run{},
+		byKey: map[string]*Run{},
+	}
+}
+
+// GetOrCreate returns the live or retained run for key, or creates a fresh
+// queued one. created reports whether the caller must schedule the returned
+// run. Failed and cancelled runs do not satisfy dedup — an identical
+// resubmission retries instead of being pinned to a stale failure.
+func (g *Registry) GetOrCreate(key string, req RunRequest, treq exper.TuneRequest) (run *Run, created bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if r, ok := g.byKey[key]; ok {
+		if g.expiredLocked(r) {
+			g.removeLocked(r)
+		} else if st := r.State(); st != StateFailed && st != StateCancelled {
+			return r, false
+		}
+	}
+	g.nextID++
+	r := newRun(fmt.Sprintf("run-%06d", g.nextID), key, req, treq, g.now())
+	g.runs[r.ID] = r
+	g.byKey[key] = r
+	return r, true
+}
+
+// Get returns the run with the given ID. An expired run is evicted on the
+// spot and reported missing — TTL holds without waiting for the janitor,
+// at O(1) per lookup rather than a full sweep on the read path.
+func (g *Registry) Get(id string) (*Run, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	r, ok := g.runs[id]
+	if !ok {
+		return nil, false
+	}
+	if g.expiredLocked(r) {
+		g.removeLocked(r)
+		return nil, false
+	}
+	return r, true
+}
+
+// List returns all retained runs, oldest ID first.
+func (g *Registry) List() []*Run {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.sweepLocked()
+	out := make([]*Run, 0, len(g.runs))
+	for _, r := range g.runs {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Remove drops a run unconditionally (Submit rolls back a run it could not
+// enqueue).
+func (g *Registry) Remove(r *Run) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.removeLocked(r)
+}
+
+// Len returns the number of retained runs. It does not sweep — counters may
+// briefly include expired runs between janitor passes.
+func (g *Registry) Len() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.runs)
+}
+
+// Sweep evicts terminal runs past their TTL. The manager's janitor calls
+// this periodically; Get and GetOrCreate additionally expire the individual
+// run they touch, so TTL correctness on lookups does not depend on the
+// janitor cadence while reads stay O(1).
+func (g *Registry) Sweep() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.sweepLocked()
+}
+
+func (g *Registry) sweepLocked() {
+	if g.ttl <= 0 {
+		return
+	}
+	for _, r := range g.runs {
+		if g.expiredLocked(r) {
+			g.removeLocked(r)
+		}
+	}
+}
+
+// expiredLocked reports whether r is terminal and past its retention TTL.
+func (g *Registry) expiredLocked(r *Run) bool {
+	if g.ttl <= 0 {
+		return false
+	}
+	fin := r.FinishedAt()
+	return !fin.IsZero() && fin.Before(g.now().Add(-g.ttl))
+}
+
+func (g *Registry) removeLocked(r *Run) {
+	delete(g.runs, r.ID)
+	if g.byKey[r.Key] == r {
+		delete(g.byKey, r.Key)
+	}
+}

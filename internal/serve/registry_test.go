@@ -1,0 +1,147 @@
+package serve
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"noisyeval/internal/exper"
+)
+
+// fakeClock is an injectable registry clock.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}
+
+func newTestRegistry(ttl time.Duration) (*Registry, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(1_700_000_000, 0)}
+	reg := NewRegistry(ttl)
+	reg.now = clk.now
+	return reg, clk
+}
+
+func testReq(seed uint64) (RunRequest, exper.TuneRequest) {
+	req := RunRequest{Dataset: "cifar10", Method: "rs", Trials: 2, Seed: seed, Scale: "quick"}
+	treq, err := req.TuneRequest()
+	if err != nil {
+		panic(err)
+	}
+	return req, treq
+}
+
+func TestRegistryDedupAndIDs(t *testing.T) {
+	reg, _ := newTestRegistry(time.Minute)
+	req, treq := testReq(1)
+
+	a, created := reg.GetOrCreate("key-a", req, treq)
+	if !created || a.ID == "" {
+		t.Fatalf("first GetOrCreate: created=%v id=%q", created, a.ID)
+	}
+	b, created := reg.GetOrCreate("key-a", req, treq)
+	if created || b != a {
+		t.Fatal("identical key did not dedup onto the live run")
+	}
+	c, created := reg.GetOrCreate("key-b", req, treq)
+	if !created || c == a || c.ID == a.ID {
+		t.Fatal("distinct key shared a run")
+	}
+	if got, ok := reg.Get(a.ID); !ok || got != a {
+		t.Fatal("Get by ID failed")
+	}
+	if reg.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", reg.Len())
+	}
+}
+
+func TestRegistryTTLEviction(t *testing.T) {
+	const ttl = time.Minute
+	reg, clk := newTestRegistry(ttl)
+	req, treq := testReq(1)
+
+	run, _ := reg.GetOrCreate("key", req, treq)
+	run.start(clk.now())
+
+	// Live runs are never evicted, no matter how old.
+	clk.advance(100 * ttl)
+	reg.Sweep()
+	if _, ok := reg.Get(run.ID); !ok {
+		t.Fatal("live run evicted")
+	}
+
+	// Terminal runs survive until TTL, then disappear from both indexes.
+	run.finish(StateDone, nil, "", clk.now())
+	clk.advance(ttl / 2)
+	reg.Sweep()
+	if _, ok := reg.Get(run.ID); !ok {
+		t.Fatal("terminal run evicted before TTL")
+	}
+	if r, created := reg.GetOrCreate("key", req, treq); created || r != run {
+		t.Fatal("retained terminal run did not satisfy dedup")
+	}
+
+	clk.advance(ttl)
+	reg.Sweep()
+	if _, ok := reg.Get(run.ID); ok {
+		t.Fatal("terminal run not evicted after TTL")
+	}
+	if reg.Len() != 0 {
+		t.Fatalf("Len = %d after eviction", reg.Len())
+	}
+	fresh, created := reg.GetOrCreate("key", req, treq)
+	if !created || fresh == run {
+		t.Fatal("evicted key did not create a fresh run")
+	}
+}
+
+func TestRegistryEvictionIsLazyToo(t *testing.T) {
+	// Lookups expire the run they touch on their own — eviction must not
+	// depend on the janitor having fired.
+	const ttl = time.Minute
+	reg, clk := newTestRegistry(ttl)
+	req, treq := testReq(1)
+	run, _ := reg.GetOrCreate("key", req, treq)
+	run.finish(StateDone, nil, "", clk.now())
+	clk.advance(2 * ttl)
+	if _, ok := reg.Get(run.ID); ok {
+		t.Fatal("Get did not sweep the expired run")
+	}
+}
+
+func TestRegistryFailedRunsDoNotDedup(t *testing.T) {
+	reg, clk := newTestRegistry(time.Minute)
+	req, treq := testReq(1)
+	run, _ := reg.GetOrCreate("key", req, treq)
+	run.finish(StateFailed, nil, "boom", clk.now())
+	retry, created := reg.GetOrCreate("key", req, treq)
+	if !created || retry == run {
+		t.Fatal("failed run absorbed a resubmission")
+	}
+	if reg.Len() < 1 {
+		t.Fatal("retry missing from registry")
+	}
+}
+
+func TestRegistryZeroTTLRetainsForever(t *testing.T) {
+	reg, clk := newTestRegistry(0)
+	req, treq := testReq(1)
+	run, _ := reg.GetOrCreate("key", req, treq)
+	run.finish(StateDone, nil, "", clk.now())
+	clk.advance(1000 * time.Hour)
+	reg.Sweep()
+	if _, ok := reg.Get(run.ID); !ok {
+		t.Fatal("ttl ≤ 0 must retain forever")
+	}
+}

@@ -1,0 +1,271 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"noisyeval/internal/exper"
+	"noisyeval/internal/fl"
+)
+
+// State is a run's lifecycle state. Transitions form a small FSM:
+//
+//	queued ──▶ running ──▶ done
+//	   │           └─────▶ failed
+//	   └─────────────────▶ cancelled   (shutdown drains the queue)
+//
+// done, failed, and cancelled are terminal.
+type State string
+
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether the state admits no further transitions.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// TrialInfo is the payload of a "trial" event. It is a nested object (not
+// flattened into Event) so its fields never carry omitempty: trial index 0
+// and a 0.0 final error serialize explicitly instead of vanishing.
+type TrialInfo struct {
+	Index     int     `json:"index"` // which bootstrap trial finished (0-based)
+	Completed int     `json:"completed"`
+	Total     int     `json:"total"`
+	FinalErr  float64 `json:"final_err"`
+}
+
+// Event is one progress notification on a run's event stream
+// (GET /v1/runs/{id}/events, NDJSON or SSE). Streams replay the full history
+// from event 0 and end after the terminal event.
+type Event struct {
+	Seq   int        `json:"seq"`
+	Type  string     `json:"type"` // "state" | "trial"
+	State State      `json:"state,omitempty"`
+	Trial *TrialInfo `json:"trial,omitempty"` // set when Type == "trial"
+	// Error carries the failure reason on the terminal "state" event of a
+	// failed or cancelled run.
+	Error string `json:"error,omitempty"`
+}
+
+// BestConfig is the wire form of a recommended configuration.
+type BestConfig struct {
+	Config  fl.HParams `json:"config"`
+	TrueErr float64    `json:"true_err"`
+	Rounds  int        `json:"rounds"`
+}
+
+// RunResult is the wire form of a completed run's outcome.
+type RunResult struct {
+	MedianErr    float64     `json:"median_err"`
+	Q1Err        float64     `json:"q1_err"`
+	Q3Err        float64     `json:"q3_err"`
+	MeanErr      float64     `json:"mean_err"`
+	Finals       []float64   `json:"finals"`
+	BudgetRounds int         `json:"budget_rounds"`
+	BankKey      string      `json:"bank_key"`
+	Best         *BestConfig `json:"best,omitempty"`
+}
+
+// RunStatus is the wire form of GET /v1/runs/{id}.
+type RunStatus struct {
+	ID          string     `json:"id"`
+	Key         string     `json:"key"`
+	State       State      `json:"state"`
+	Request     RunRequest `json:"request"`
+	CreatedAt   string     `json:"created_at"`
+	StartedAt   string     `json:"started_at,omitempty"`
+	FinishedAt  string     `json:"finished_at,omitempty"`
+	TrialsDone  int        `json:"trials_done"`
+	TrialsTotal int        `json:"trials_total"`
+	Result      *RunResult `json:"result,omitempty"`
+	Error       string     `json:"error,omitempty"`
+}
+
+// Run is one submitted tuning job moving through the lifecycle FSM. All
+// mutation goes through the manager; readers use Snapshot / Subscribe.
+type Run struct {
+	ID  string
+	Key string
+	Req RunRequest
+
+	treq exper.TuneRequest // resolved at submit time
+
+	mu         sync.Mutex
+	state      State
+	events     []Event
+	subs       map[chan Event]struct{}
+	trialsDone int
+	result     *exper.TuneResult
+	errMsg     string
+	created    time.Time
+	started    time.Time
+	finished   time.Time
+	body       []byte // terminal response bytes, marshaled exactly once
+	etag       string // strong ETag over body
+}
+
+func newRun(id, key string, req RunRequest, treq exper.TuneRequest, now time.Time) *Run {
+	r := &Run{
+		ID: id, Key: key, Req: req, treq: treq,
+		state:   StateQueued,
+		subs:    map[chan Event]struct{}{},
+		created: now,
+	}
+	r.appendEventLocked(Event{Type: "state", State: StateQueued})
+	return r
+}
+
+// State returns the current lifecycle state.
+func (r *Run) State() State {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.state
+}
+
+// FinishedAt returns when the run reached a terminal state (zero if it has
+// not); the registry's TTL eviction measures retention from this instant.
+func (r *Run) FinishedAt() time.Time {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.finished
+}
+
+// appendEventLocked stamps, records, and broadcasts one event. Callers hold
+// r.mu (newRun runs before the Run escapes its constructor). Subscriber
+// channels are buffered for the run's worst-case event count, so sends never
+// block; a terminal event closes every subscriber channel.
+func (r *Run) appendEventLocked(e Event) {
+	e.Seq = len(r.events)
+	r.events = append(r.events, e)
+	for ch := range r.subs {
+		select {
+		case ch <- e:
+		default: // subscriber gave up its buffer; it still has the replay
+		}
+	}
+	if e.Type == "state" && e.State.Terminal() {
+		for ch := range r.subs {
+			close(ch)
+		}
+		r.subs = map[chan Event]struct{}{}
+	}
+}
+
+// Subscribe returns the full event history so far plus a channel of
+// subsequent events; the channel is closed after the terminal event (already
+// closed when the run is already terminal). cancel detaches early.
+func (r *Run) Subscribe() (replay []Event, ch <-chan Event, cancel func()) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	replay = append([]Event(nil), r.events...)
+	c := make(chan Event, r.Req.Trials+8)
+	if r.state.Terminal() {
+		close(c)
+		return replay, c, func() {}
+	}
+	r.subs[c] = struct{}{}
+	return replay, c, func() {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		if _, ok := r.subs[c]; ok {
+			delete(r.subs, c)
+			close(c)
+		}
+	}
+}
+
+// start transitions queued → running.
+func (r *Run) start(now time.Time) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.state = StateRunning
+	r.started = now
+	r.appendEventLocked(Event{Type: "state", State: StateRunning})
+}
+
+// trial records one finished bootstrap trial.
+func (r *Run) trial(u exper.TrialUpdate) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.trialsDone = u.Completed
+	r.appendEventLocked(Event{Type: "trial", Trial: &TrialInfo{
+		Index: u.Trial, Completed: u.Completed, Total: u.Total, FinalErr: u.FinalTrue,
+	}})
+}
+
+// finish transitions to a terminal state, marshals the response body exactly
+// once, and derives the strong ETag — every later GET of this run serves
+// these exact bytes, which is what makes "same result bytes" checkable for
+// deduplicated submissions.
+func (r *Run) finish(state State, res *exper.TuneResult, errMsg string, now time.Time) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.state.Terminal() {
+		return
+	}
+	r.state = state
+	r.result = res
+	r.errMsg = errMsg
+	r.finished = now
+	r.appendEventLocked(Event{Type: "state", State: state, Error: errMsg})
+	// Same encoding as writeJSON (indented + newline), so live and cached
+	// snapshots of one run render identically on the wire.
+	body, err := json.MarshalIndent(r.statusLocked(), "", "  ")
+	if err != nil { // fl.HParams and floats always marshal; defensive only
+		body = []byte(fmt.Sprintf(`{"id":%q,"state":"failed","error":"encode: %v"}`, r.ID, err))
+	}
+	r.body = append(body, '\n')
+	sum := sha256.Sum256(body)
+	r.etag = `"` + hex.EncodeToString(sum[:16]) + `"`
+}
+
+// Snapshot returns the run's wire status plus, for terminal runs, the cached
+// response bytes and strong ETag (nil bytes while the run is live — live
+// snapshots are marshaled per request because they still change).
+func (r *Run) Snapshot() (st RunStatus, body []byte, etag string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.statusLocked(), r.body, r.etag
+}
+
+func (r *Run) statusLocked() RunStatus {
+	st := RunStatus{
+		ID: r.ID, Key: r.Key, State: r.state, Request: r.Req,
+		CreatedAt:   r.created.UTC().Format(time.RFC3339Nano),
+		TrialsDone:  r.trialsDone,
+		TrialsTotal: r.Req.Trials,
+		Error:       r.errMsg,
+	}
+	if !r.started.IsZero() {
+		st.StartedAt = r.started.UTC().Format(time.RFC3339Nano)
+	}
+	if !r.finished.IsZero() {
+		st.FinishedAt = r.finished.UTC().Format(time.RFC3339Nano)
+	}
+	if res := r.result; res != nil {
+		rr := &RunResult{
+			MedianErr:    res.Summary.Median,
+			Q1Err:        res.Summary.Q1,
+			Q3Err:        res.Summary.Q3,
+			MeanErr:      res.Summary.Mean,
+			Finals:       res.Finals,
+			BudgetRounds: res.BudgetRounds,
+			BankKey:      res.BankKey,
+		}
+		if res.Best != nil {
+			rr.Best = &BestConfig{Config: res.Best.Config, TrueErr: res.Best.True, Rounds: res.Best.Rounds}
+		}
+		st.Result = rr
+	}
+	return st
+}

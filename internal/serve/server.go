@@ -1,0 +1,69 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Daemon couples an http.Server with a Manager and owns graceful shutdown
+// ordering: first the manager stops accepting and drains (queued runs are
+// cancelled — which also terminates their event streams — while in-flight
+// runs complete), then the HTTP listener shuts down, waiting for in-flight
+// request handlers.
+type Daemon struct {
+	Manager *Manager
+	http    *http.Server
+	ln      net.Listener
+}
+
+// NewDaemon builds a daemon listening on addr.
+func NewDaemon(addr string, m *Manager) *Daemon {
+	srv := NewServer(m)
+	return &Daemon{
+		Manager: m,
+		http: &http.Server{
+			Addr:              addr,
+			Handler:           srv,
+			ReadHeaderTimeout: 10 * time.Second,
+		},
+	}
+}
+
+// Listen binds the address (split from Serve so callers can report the bound
+// address — e.g. addr ":0" in tests — before serving).
+func (d *Daemon) Listen() (net.Addr, error) {
+	ln, err := net.Listen("tcp", d.http.Addr)
+	if err != nil {
+		return nil, err
+	}
+	d.ln = ln
+	return ln.Addr(), nil
+}
+
+// Serve blocks serving HTTP until Shutdown. A clean shutdown returns nil.
+func (d *Daemon) Serve() error {
+	if d.ln == nil {
+		if _, err := d.Listen(); err != nil {
+			return err
+		}
+	}
+	err := d.http.Serve(d.ln)
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+// Shutdown drains the daemon gracefully within ctx's deadline: manager
+// first (cancel queued, drain in-flight runs), then the HTTP server.
+func (d *Daemon) Shutdown(ctx context.Context) error {
+	mgrErr := d.Manager.Shutdown(ctx)
+	httpErr := d.http.Shutdown(ctx)
+	if mgrErr != nil {
+		return mgrErr
+	}
+	return httpErr
+}

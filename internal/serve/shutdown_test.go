@@ -1,0 +1,233 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"noisyeval/internal/exper"
+)
+
+// TestGracefulShutdownDrainsInFlightCancelsQueued pins the shutdown
+// contract: the in-flight run completes with a real result, queued runs are
+// cancelled without executing, and late submissions are rejected. The
+// execGate hook holds the single worker at the head of run A until both
+// queued runs are in place, making the schedule deterministic.
+func TestGracefulShutdownDrainsInFlightCancelsQueued(t *testing.T) {
+	gate := make(chan struct{})
+	entered := make(chan *Run, 1)
+	opts := Options{
+		Workers: 1,
+		Store:   nil,
+		Scales:  map[string]exper.Config{"quick": tinyConfig()},
+		execGate: func(r *Run) {
+			entered <- r
+			<-gate
+		},
+	}
+	opts.Store = testStore(t)
+	mgr := NewManager(opts)
+
+	submit := func(seed uint64) *Run {
+		t.Helper()
+		run, created, err := mgr.Submit(RunRequest{Dataset: "cifar10", Method: "rs", Trials: 2, Seed: seed})
+		if err != nil || !created {
+			t.Fatalf("submit seed %d: created=%v err=%v", seed, created, err)
+		}
+		return run
+	}
+
+	inflight := submit(1)
+	select {
+	case got := <-entered:
+		if got != inflight {
+			t.Fatalf("worker picked %s, want %s", got.ID, inflight.ID)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("worker never picked up the first run")
+	}
+	queuedA, queuedB := submit(2), submit(3)
+
+	shutdownErr := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		shutdownErr <- mgr.Shutdown(ctx)
+	}()
+
+	// Submissions during shutdown are rejected. Shutdown marks closed
+	// synchronously before waiting, but give the goroutine a beat to run;
+	// until then the probe (identical to queuedB) merely dedups, creating
+	// no extra runs.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, created, err := mgr.Submit(RunRequest{Dataset: "cifar10", Method: "rs", Trials: 2, Seed: 3})
+		if errors.Is(err, ErrShuttingDown) {
+			break
+		}
+		if created || time.Now().After(deadline) {
+			t.Fatalf("submission during shutdown not rejected (created=%v err=%v)", created, err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	close(gate) // release the in-flight run; drain proceeds
+	if err := <-shutdownErr; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+
+	if st := inflight.State(); st != StateDone {
+		t.Errorf("in-flight run state = %q, want done (drained)", st)
+	}
+	if _, body, _ := inflight.Snapshot(); body == nil {
+		t.Error("drained run has no result bytes")
+	}
+	for _, q := range []*Run{queuedA, queuedB} {
+		if st := q.State(); st != StateCancelled {
+			t.Errorf("queued run %s state = %q, want cancelled", q.ID, st)
+		}
+	}
+	c := mgr.Counters()
+	if c.RunsCompleted != 1 || c.RunsCancelled != 2 {
+		t.Errorf("counters = %+v, want 1 completed / 2 cancelled", c)
+	}
+
+	// Idempotent.
+	if err := mgr.Shutdown(context.Background()); err != nil {
+		t.Errorf("second shutdown: %v", err)
+	}
+}
+
+// TestShutdownCancelledRunStreamsTerminate verifies a queued run's event
+// stream ends with the cancelled state when shutdown drains the queue — a
+// client watching /events is not left hanging.
+func TestShutdownCancelledRunStreamsTerminate(t *testing.T) {
+	gate := make(chan struct{})
+	entered := make(chan struct{}, 1)
+	opts := Options{
+		Workers: 1,
+		Store:   testStore(t),
+		Scales:  map[string]exper.Config{"quick": tinyConfig()},
+		execGate: func(*Run) {
+			entered <- struct{}{}
+			<-gate
+		},
+	}
+	mgr := NewManager(opts)
+	ts := &testServer{Server: httptest.NewServer(NewServer(mgr)), mgr: mgr}
+	defer ts.Close()
+
+	_, first := ts.submit(t, `{"dataset":"cifar10","method":"rs","trials":2,"seed":1}`)
+	<-entered
+	_, queued := ts.submit(t, `{"dataset":"cifar10","method":"rs","trials":2,"seed":2}`)
+
+	type streamOut struct {
+		events []Event
+		err    error
+	}
+	got := make(chan streamOut, 1)
+	go func() {
+		events, err := ts.tryStreamEvents(queued.ID)
+		got <- streamOut{events, err}
+	}()
+
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		mgr.Shutdown(ctx)
+	}()
+	// Wait until shutdown has registered (submissions rejected — the probe
+	// is identical to the queued run, so until then it only dedups), then
+	// release the in-flight run so draining can finish.
+	for {
+		_, _, err := mgr.Submit(RunRequest{Dataset: "cifar10", Method: "rs", Trials: 2, Seed: 2})
+		if errors.Is(err, ErrShuttingDown) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(gate)
+
+	select {
+	case out := <-got:
+		if out.err != nil || len(out.events) == 0 {
+			t.Fatalf("stream: events=%d err=%v", len(out.events), out.err)
+		}
+		last := out.events[len(out.events)-1]
+		if last.State != StateCancelled || !strings.Contains(last.Error, "shutting down") {
+			t.Fatalf("terminal event = %+v, want cancelled with reason", last)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("event stream of cancelled run never terminated")
+	}
+	_ = first
+}
+
+// TestShutdownTimeout: a wedged in-flight run makes Shutdown return the
+// context error instead of hanging.
+func TestShutdownTimeout(t *testing.T) {
+	gate := make(chan struct{})
+	entered := make(chan struct{}, 1)
+	opts := Options{
+		Workers: 1,
+		Store:   testStore(t),
+		Scales:  map[string]exper.Config{"quick": tinyConfig()},
+		execGate: func(*Run) {
+			entered <- struct{}{}
+			<-gate
+		},
+	}
+	mgr := NewManager(opts)
+	defer close(gate)
+	if _, _, err := mgr.Submit(RunRequest{Dataset: "cifar10", Method: "rs", Trials: 2, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	<-entered
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := mgr.Shutdown(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Shutdown = %v, want deadline exceeded", err)
+	}
+}
+
+func TestQueueBackpressure(t *testing.T) {
+	gate := make(chan struct{})
+	entered := make(chan struct{}, 1)
+	opts := Options{
+		Workers:    1,
+		QueueDepth: 1,
+		Store:      testStore(t),
+		Scales:     map[string]exper.Config{"quick": tinyConfig()},
+		execGate: func(*Run) {
+			entered <- struct{}{}
+			<-gate
+		},
+	}
+	mgr := NewManager(opts)
+	defer func() {
+		close(gate)
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		mgr.Shutdown(ctx)
+	}()
+
+	if _, _, err := mgr.Submit(RunRequest{Dataset: "cifar10", Method: "rs", Trials: 2, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	<-entered // worker busy; queue empty
+	if _, _, err := mgr.Submit(RunRequest{Dataset: "cifar10", Method: "rs", Trials: 2, Seed: 2}); err != nil {
+		t.Fatal(err) // fills the queue
+	}
+	_, _, err := mgr.Submit(RunRequest{Dataset: "cifar10", Method: "rs", Trials: 2, Seed: 3})
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overflow submit err = %v, want ErrQueueFull", err)
+	}
+	// The rejected run must not linger in the registry (a retry after the
+	// queue drains should be creatable).
+	if n := mgr.Registry().Len(); n != 2 {
+		t.Errorf("registry holds %d runs after rejection, want 2", n)
+	}
+}
