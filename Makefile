@@ -12,12 +12,15 @@
 #   make serve       run the noisyevald tuning daemon on $(SERVE_ADDR)
 #   make serve-smoke boot noisyevald, wait on /healthz, run one quick job
 #                    end to end, shut down gracefully (used by CI)
+#   make cluster-smoke boot a coordinator + two noisyworker processes, build
+#                    quick banks cold through sharded fleet leases (both
+#                    workers must train shards), re-run warm with 0 builds
 
 GO         ?= go
 CACHE_DIR  ?= $(HOME)/.cache/noisyeval-banks
 SERVE_ADDR ?= 127.0.0.1:8723
 
-.PHONY: build lint test race bench bench-json bench-check figures serve serve-smoke clean
+.PHONY: build lint test race bench bench-json bench-check figures serve serve-smoke cluster-smoke clean
 
 build:
 	$(GO) build ./...
@@ -33,7 +36,7 @@ race:
 	NOISYEVAL_CACHE_DIR=$(CACHE_DIR) $(GO) test -race \
 		-run 'TestScheduler|TestBankStore|TestBankKey|TestBuildBank|TestSuite|TestRunKey|TestRunTune' \
 		./internal/core ./internal/exper
-	NOISYEVAL_CACHE_DIR=$(CACHE_DIR) $(GO) test -race ./internal/serve
+	NOISYEVAL_CACHE_DIR=$(CACHE_DIR) $(GO) test -race ./internal/serve ./internal/dist
 
 bench:
 	NOISYEVAL_CACHE_DIR=$(CACHE_DIR) $(GO) test -bench=. -benchtime=1x -run '^$$' . | tee bench.out
@@ -63,6 +66,12 @@ serve:
 # SIGTERM. Identical locally and in CI's serve job.
 serve-smoke: build
 	./tools/serve_smoke.sh $(SERVE_ADDR) $(CACHE_DIR)
+
+# Cluster end to end: coordinator + 2 workers build quick banks cold via
+# sharded leases (expvar-asserted on both workers), then a warm rerun must
+# train nothing. Uses its own cache dir so "cold" is guaranteed.
+cluster-smoke: build
+	./tools/cluster_smoke.sh
 
 clean:
 	rm -f bench.out bench-gated.out BENCH_smoke.json BENCH_latest.json

@@ -171,6 +171,40 @@ func BenchmarkBankBuild(b *testing.B) {
 	}
 }
 
+// BenchmarkDistAssemble measures reassembling a sharded bank build — the
+// dist coordinator's hot path once worker shards arrive (training excluded:
+// the shards are built once outside the timer). Reported alongside a
+// shard-throughput metric (config-ranges merged per second).
+func BenchmarkDistAssemble(b *testing.B) {
+	spec := noisyeval.CIFAR10Like().Scaled(0.06, 0)
+	spec.MeanExamples, spec.MinExamples, spec.MaxExamples = 20, 15, 25
+	pop := noisyeval.MustGenerate(spec, noisyeval.NewRNG(1))
+	opts := noisyeval.DefaultBuildOptions()
+	opts.NumConfigs = 8
+	opts.MaxRounds = 9
+	opts.Partitions = []float64{0.5}
+	plan, err := core.NewBuildPlan(pop, opts, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var shards []*core.BankShard
+	for _, r := range core.ShardRanges(plan.NumConfigs(), 2) {
+		sh, err := plan.TrainRange(r[0], r[1], 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		shards = append(shards, sh)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.AssembleBank(plan, shards); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N*len(shards))/b.Elapsed().Seconds(), "shards/s")
+}
+
 // BenchmarkServeRun measures warm-cache throughput of the noisyevald serving
 // path: after one run completes, every identical POST /v1/runs is absorbed
 // by the content-addressed run key and answered from the cached result bytes

@@ -27,18 +27,19 @@ func main() {
 	log.SetPrefix("fedtune: ")
 
 	var (
-		dataset    = flag.String("dataset", "cifar10", "dataset: "+strings.Join(exper.DatasetNames, "|"))
-		methodName = flag.String("method", "rs", "method: "+strings.Join(hpo.Methods(), "|"))
-		bankPath   = flag.String("bank", "", "pre-built bank path (default: build a quick bank)")
-		cacheDir   = flag.String("cache-dir", "", "content-addressed bank cache directory (default $NOISYEVAL_CACHE_DIR)")
-		sampleN    = flag.Int("sample-count", 0, "eval clients per evaluation (0 = use -sample-frac)")
-		sampleFrac = flag.Float64("sample-frac", 0, "eval client fraction (0 = full evaluation)")
-		bias       = flag.Float64("bias", 0, "systems-heterogeneity exponent b")
-		epsilon    = flag.Float64("epsilon", 0, "total DP budget (0 = non-private)")
-		hetP       = flag.Float64("p", 0, "iid repartition fraction (bank must record it)")
-		trials     = flag.Int("trials", 8, "bootstrap trials")
-		seed       = flag.Uint64("seed", 1, "RNG seed")
-		quick      = flag.Bool("quick", true, "quick-scale bank when none is supplied")
+		dataset       = flag.String("dataset", "cifar10", "dataset: "+strings.Join(exper.DatasetNames, "|"))
+		methodName    = flag.String("method", "rs", "method: "+strings.Join(hpo.Methods(), "|"))
+		bankPath      = flag.String("bank", "", "pre-built bank path (default: build a quick bank)")
+		cacheDir      = flag.String("cache-dir", "", "content-addressed bank cache directory (default $NOISYEVAL_CACHE_DIR)")
+		cacheMaxBytes = flag.Int64("cache-max-bytes", 0, "bank cache size bound: LRU entries are pruned past it (0 = unlimited)")
+		sampleN       = flag.Int("sample-count", 0, "eval clients per evaluation (0 = use -sample-frac)")
+		sampleFrac    = flag.Float64("sample-frac", 0, "eval client fraction (0 = full evaluation)")
+		bias          = flag.Float64("bias", 0, "systems-heterogeneity exponent b")
+		epsilon       = flag.Float64("epsilon", 0, "total DP budget (0 = non-private)")
+		hetP          = flag.Float64("p", 0, "iid repartition fraction (bank must record it)")
+		trials        = flag.Int("trials", 8, "bootstrap trials")
+		seed          = flag.Uint64("seed", 1, "RNG seed")
+		quick         = flag.Bool("quick", true, "quick-scale bank when none is supplied")
 	)
 	flag.Parse()
 
@@ -61,6 +62,7 @@ func main() {
 		}
 		suite.SetStore(store)
 		log.Printf("bank cache at %s", store.Dir())
+		core.BoundCache(store, *cacheMaxBytes, log.Printf)
 	}
 
 	runDataset := *dataset

@@ -19,12 +19,15 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
 	"time"
 
 	"noisyeval/internal/core"
+	"noisyeval/internal/dist"
 	"noisyeval/internal/exper"
 	"noisyeval/internal/plot"
 )
@@ -34,14 +37,20 @@ func main() {
 	log.SetPrefix("figures: ")
 
 	var (
-		quick    = flag.Bool("quick", false, "miniature configuration (tests-scale)")
-		outDir   = flag.String("out", "results", "output directory")
-		only     = flag.String("only", "", "comma-separated subset of experiment ids")
-		banks    = flag.String("banks", "", "directory of pre-built <dataset>.bank files to reuse")
-		cacheDir = flag.String("cache-dir", "", "content-addressed bank cache directory (reused across runs)")
-		jobs     = flag.Int("jobs", 0, "max concurrent drivers/bank builds (0 = GOMAXPROCS)")
-		seed     = flag.Uint64("seed", 1, "RNG seed")
-		verbose  = flag.Bool("v", false, "log per-task scheduler events")
+		quick         = flag.Bool("quick", false, "miniature configuration (tests-scale)")
+		outDir        = flag.String("out", "results", "output directory")
+		only          = flag.String("only", "", "comma-separated subset of experiment ids")
+		banks         = flag.String("banks", "", "directory of pre-built <dataset>.bank files to reuse")
+		cacheDir      = flag.String("cache-dir", "", "content-addressed bank cache directory (reused across runs)")
+		cacheMaxBytes = flag.Int64("cache-max-bytes", 0, "bank cache size bound: LRU entries are pruned past it (0 = unlimited)")
+		jobs          = flag.Int("jobs", 0, "max concurrent drivers/bank builds (0 = GOMAXPROCS)")
+		seed          = flag.Uint64("seed", 1, "RNG seed")
+		verbose       = flag.Bool("v", false, "log per-task scheduler events")
+		clusterAddr   = flag.String("cluster-addr", "", "listen address for an embedded dist coordinator: bank builds shard across noisyworker processes pulling from it")
+		shardConfigs  = flag.Int("shard-configs", 8, "cluster mode: config indices per shard job")
+		leaseTTL      = flag.Duration("lease-ttl", 2*time.Minute, "cluster mode: shard lease duration before requeue")
+		selfBuild     = flag.Int("self-build", 1, "cluster mode: in-process shard builders (0 = rely entirely on external workers)")
+		peersFlag     = flag.String("peers", "", "comma-separated warm-peer base URLs whose /v1/banks/{key} seeds the cache")
 	)
 	flag.Parse()
 
@@ -61,6 +70,38 @@ func main() {
 		}
 		suite.SetStore(store)
 		log.Printf("bank cache at %s", store.Dir())
+		core.BoundCache(store, *cacheMaxBytes, log.Printf)
+	}
+
+	var peers []string
+	for _, p := range strings.Split(*peersFlag, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peers = append(peers, strings.TrimRight(p, "/"))
+		}
+	}
+	if *clusterAddr != "" {
+		coord := dist.NewCoordinator(dist.CoordinatorOptions{
+			Store:        store,
+			ShardConfigs: *shardConfigs,
+			LeaseTTL:     *leaseTTL,
+			SelfBuild:    *selfBuild,
+			Workers:      *jobs,
+		})
+		defer coord.Close()
+		mux := http.NewServeMux()
+		coord.Register(mux)
+		ln, err := net.Listen("tcp", *clusterAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv := &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+		go srv.Serve(ln)
+		defer srv.Close()
+		suite.SetBuilder(&dist.Builder{Store: store, Peers: peers, Coord: coord})
+		log.Printf("cluster coordinator on %s (shard-configs=%d self-build=%d)", ln.Addr(), *shardConfigs, *selfBuild)
+	} else if len(peers) > 0 {
+		suite.SetBuilder(&dist.Builder{Store: store, Peers: peers})
+		log.Printf("peer read-through from %s", strings.Join(peers, ", "))
 	}
 
 	if *banks != "" {
@@ -137,7 +178,7 @@ func main() {
 		time.Since(start).Round(time.Millisecond), suite.BankBuilds())
 	if store != nil {
 		st := store.Stats()
-		log.Printf("bank cache: %d hits, %d misses, %d stored, %d corrupt evicted",
+		log.Printf("bank cache: %d hits, %d misses, %d stored, %d evicted (corrupt or pruned)",
 			st.Hits, st.Misses, st.Builds, st.Evicted)
 	}
 	if runErr != nil {

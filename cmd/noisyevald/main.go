@@ -8,6 +8,7 @@
 // Usage:
 //
 //	noisyevald -addr :8723 -cache-dir ~/.cache/noisyeval-banks
+//	noisyevald -cluster -cache-dir ~/.cache/noisyeval-banks   # + noisyworker fleet
 //
 //	curl -s localhost:8723/healthz
 //	curl -s -X POST localhost:8723/v1/runs -d '{"dataset":"cifar10","method":"rs","trials":8,"noise":{"sample_count":3}}'
@@ -26,10 +27,12 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"noisyeval/internal/core"
+	"noisyeval/internal/dist"
 	"noisyeval/internal/serve"
 )
 
@@ -38,12 +41,18 @@ func main() {
 	log.SetPrefix("noisyevald: ")
 
 	var (
-		addr         = flag.String("addr", ":8723", "listen address")
-		cacheDir     = flag.String("cache-dir", os.Getenv("NOISYEVAL_CACHE_DIR"), "content-addressed bank cache directory (default $NOISYEVAL_CACHE_DIR)")
-		workers      = flag.Int("workers", 2, "max concurrently executing runs")
-		queueDepth   = flag.Int("queue", 64, "max queued runs before submissions get 503")
-		runTTL       = flag.Duration("run-ttl", 15*time.Minute, "how long finished runs stay fetchable and dedupable (negative = forever)")
-		drainTimeout = flag.Duration("drain-timeout", 2*time.Minute, "graceful-shutdown budget for draining in-flight runs")
+		addr          = flag.String("addr", ":8723", "listen address")
+		cacheDir      = flag.String("cache-dir", os.Getenv("NOISYEVAL_CACHE_DIR"), "content-addressed bank cache directory (default $NOISYEVAL_CACHE_DIR)")
+		cacheMaxBytes = flag.Int64("cache-max-bytes", 0, "bank cache size bound: LRU entries are pruned past it (0 = unlimited)")
+		workers       = flag.Int("workers", 2, "max concurrently executing runs")
+		queueDepth    = flag.Int("queue", 64, "max queued runs before submissions get 503")
+		runTTL        = flag.Duration("run-ttl", 15*time.Minute, "how long finished runs stay fetchable and dedupable (negative = forever)")
+		drainTimeout  = flag.Duration("drain-timeout", 2*time.Minute, "graceful-shutdown budget for draining in-flight runs")
+		cluster       = flag.Bool("cluster", false, "mount dist coordinator endpoints and shard bank builds across noisyworker processes")
+		shardConfigs  = flag.Int("shard-configs", 8, "cluster mode: config indices per shard job")
+		leaseTTL      = flag.Duration("lease-ttl", 2*time.Minute, "cluster mode: shard lease duration before requeue")
+		selfBuild     = flag.Int("self-build", 1, "cluster mode: in-process shard builders (0 = rely entirely on external workers)")
+		peersFlag     = flag.String("peers", "", "comma-separated warm-peer base URLs whose /v1/banks/{key} seeds this daemon's cache")
 	)
 	flag.Parse()
 
@@ -55,17 +64,63 @@ func main() {
 			log.Fatal(err)
 		}
 		log.Printf("bank cache at %s", store.Dir())
+		core.BoundCache(store, *cacheMaxBytes, log.Printf)
 	} else {
 		log.Printf("no -cache-dir: banks rebuilt per daemon lifetime (in-memory suite cache only)")
 	}
 
+	var peers []string
+	for _, p := range strings.Split(*peersFlag, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peers = append(peers, strings.TrimRight(p, "/"))
+		}
+	}
+
+	// Cluster mode: a coordinator shards every cold bank build into leased
+	// jobs; the manager's suites build through the dist tier stack (store →
+	// peers → fleet). Without -cluster but with -peers, the daemon still
+	// read-throughs warm peers before training locally.
+	var coord *dist.Coordinator
+	var builder core.BankBuilder
+	if *cluster {
+		coord = dist.NewCoordinator(dist.CoordinatorOptions{
+			Store:        store,
+			ShardConfigs: *shardConfigs,
+			LeaseTTL:     *leaseTTL,
+			SelfBuild:    *selfBuild,
+		})
+		defer coord.Close()
+		builder = &dist.Builder{Store: store, Peers: peers, Coord: coord}
+		log.Printf("cluster mode: shard-configs=%d lease-ttl=%s self-build=%d peers=%d",
+			*shardConfigs, *leaseTTL, *selfBuild, len(peers))
+	} else if len(peers) > 0 {
+		builder = &dist.Builder{Store: store, Peers: peers}
+		log.Printf("peer read-through from %s", strings.Join(peers, ", "))
+	}
+
 	mgr := serve.NewManager(serve.Options{
 		Store:      store,
+		Builder:    builder,
 		Workers:    *workers,
 		QueueDepth: *queueDepth,
 		TTL:        *runTTL,
 	})
 	daemon := serve.NewDaemon(*addr, mgr)
+	if coord != nil {
+		coord.Register(daemon.Server().Mux())
+		daemon.Server().AddVars(func(set func(string, int64)) {
+			st := coord.Stats()
+			set("dist_builds_started", st.BuildsStarted)
+			set("dist_builds_completed", st.BuildsCompleted)
+			set("dist_shards_pending", st.ShardsPending)
+			set("dist_shards_leased", st.ShardsLeased)
+			set("dist_shards_completed", st.ShardsCompleted)
+			set("dist_shards_requeued", st.ShardsRequeued)
+			set("dist_shards_duplicate", st.ShardsDuplicate)
+			set("dist_shards_self_built", st.ShardsSelfBuilt)
+			set("dist_workers_seen", st.WorkersSeen)
+		})
+	}
 	bound, err := daemon.Listen()
 	if err != nil {
 		log.Fatal(err)

@@ -8,14 +8,11 @@ package core
 
 import (
 	"fmt"
-	"runtime"
 	"sort"
-	"sync"
 
 	"noisyeval/internal/data"
 	"noisyeval/internal/fl"
 	"noisyeval/internal/hpo"
-	"noisyeval/internal/rng"
 )
 
 // Bank holds the study's reusable training artifact: for every configuration
@@ -95,93 +92,20 @@ func DefaultBuildOptions() BuildOptions {
 // BuildBank trains opts.NumConfigs configurations on the population and
 // records per-client errors at every checkpoint under every partition.
 // Construction is deterministic in (pop, opts, seed) and parallel across
-// configurations.
+// configurations. It is the single-process composition of the shardable
+// pipeline in shard.go: plan, train the full config range, assemble — the
+// exact code path internal/dist workers run on their index ranges, which is
+// what makes a fleet-assembled bank byte-identical to a local one.
 func BuildBank(pop *data.Population, opts BuildOptions, seed uint64) (*Bank, error) {
-	if opts.NumConfigs < 1 {
-		return nil, fmt.Errorf("core: NumConfigs %d must be >= 1", opts.NumConfigs)
+	plan, err := NewBuildPlan(pop, opts, seed)
+	if err != nil {
+		return nil, err
 	}
-	if opts.MaxRounds < 1 {
-		return nil, fmt.Errorf("core: MaxRounds %d must be >= 1", opts.MaxRounds)
+	shard, err := plan.TrainRange(0, plan.NumConfigs(), opts.Workers)
+	if err != nil {
+		return nil, err
 	}
-	workers := opts.Workers
-	opts = normalizeBuildOptions(opts)
-	opts.Workers = workers
-
-	root := rng.New(seed)
-	rounds := hpo.RungRounds(opts.MaxRounds, opts.Eta, opts.Levels)
-	partitions := append([]float64{0}, opts.Partitions...)
-	partitions = dedupFloats(partitions)
-
-	// Build the evaluation pools: partition 0 is the natural split; others
-	// are iid repartitions (sizes preserved).
-	pools := make([][]*data.Client, len(partitions))
-	counts := make([][]int, len(partitions))
-	for pi, p := range partitions {
-		if p == 0 {
-			pools[pi] = pop.Val
-		} else {
-			pools[pi] = data.RepartitionIID(pop.Val, p, root.Splitf("repartition-%.3f", p))
-		}
-		counts[pi] = exampleCounts(pools[pi])
-	}
-
-	configs := opts.Configs
-	if len(configs) == 0 {
-		configs = opts.Space.SampleN(opts.NumConfigs, root.Split("pool"))
-	}
-
-	b := &Bank{
-		SpecName:      pop.Spec.Name,
-		Seed:          seed,
-		Configs:       configs,
-		Rounds:        rounds,
-		Partitions:    partitions,
-		ExampleCounts: counts,
-		Diverged:      make([]bool, len(configs)),
-	}
-	b.Errs = make([][][][]float64, len(partitions))
-	for pi := range partitions {
-		b.Errs[pi] = make([][][]float64, len(configs))
-		for ci := range configs {
-			b.Errs[pi][ci] = make([][]float64, len(rounds))
-		}
-	}
-
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	var (
-		wg       sync.WaitGroup
-		sem      = make(chan struct{}, workers)
-		firstErr error
-		errOnce  sync.Once
-	)
-	for ci := range configs {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(ci int) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			tr, err := fl.NewTrainer(pop, configs[ci], opts.Train, root.Splitf("config-%d", ci))
-			if err != nil {
-				errOnce.Do(func() { firstErr = fmt.Errorf("core: config %d: %w", ci, err) })
-				return
-			}
-			for ri, r := range rounds {
-				tr.TrainTo(r)
-				for pi := range partitions {
-					b.Errs[pi][ci][ri] = tr.EvalClients(pools[pi])
-				}
-			}
-			b.Diverged[ci] = tr.Diverged()
-		}(ci)
-	}
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	b.buildIndex()
-	return b, nil
+	return AssembleBank(plan, []*BankShard{shard})
 }
 
 // buildIndex (re)creates the config lookup map (needed after gob decoding).

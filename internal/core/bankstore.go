@@ -11,6 +11,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"noisyeval/internal/data"
 )
@@ -102,7 +103,7 @@ type StoreStats struct {
 	Hits    int64 // entries served from disk
 	Misses  int64 // lookups that found no (valid) entry
 	Builds  int64 // banks built and written through GetOrBuild
-	Evicted int64 // corrupt entries removed during lookup
+	Evicted int64 // entries removed: corrupt on load, or pruned by Prune
 }
 
 // BankStore is a content-addressed on-disk bank cache. Entries are the
@@ -117,6 +118,8 @@ type BankStore struct {
 
 	mu       sync.Mutex
 	inflight map[string]*storeCall
+
+	maxBytes atomic.Int64 // size bound enforced after each Put (0 = unlimited)
 
 	hits, misses, builds, evicted atomic.Int64
 }
@@ -179,6 +182,10 @@ func (s *BankStore) Get(key string) (*Bank, error) {
 		return nil, nil
 	}
 	s.hits.Add(1)
+	// Touch the entry so Prune's LRU-by-mtime ordering reflects use, not
+	// just creation (a hot bank must outlive colder, newer ones).
+	now := time.Now()
+	os.Chtimes(path, now, now)
 	return b, nil
 }
 
@@ -202,7 +209,83 @@ func (s *BankStore) Put(key string, b *Bank) error {
 		os.Remove(tmpPath)
 		return fmt.Errorf("core: bank store put: %w", err)
 	}
+	if max := s.maxBytes.Load(); max > 0 {
+		// Enforce the size bound write-through; the just-written entry has
+		// the freshest mtime, so it is pruned last (only when it alone
+		// exceeds the bound).
+		s.Prune(max)
+	}
 	return nil
+}
+
+// SetMaxBytes bounds the cache's total on-disk size: every Put triggers an
+// LRU-by-mtime Prune down to max bytes (0 restores unlimited growth). The
+// bound is advisory between writes — a foreign process dropping files into
+// the directory is only noticed on the next Put or explicit Prune.
+func (s *BankStore) SetMaxBytes(max int64) {
+	if s == nil {
+		return
+	}
+	s.maxBytes.Store(max)
+}
+
+// Prune evicts least-recently-used entries (by mtime; Get refreshes it) until
+// the cache's total size is at most maxBytes, returning how many entries were
+// removed and how many bytes were freed. maxBytes <= 0 removes everything.
+// Evictions count into the store's Evicted stat. Concurrent readers are safe:
+// an evicted entry simply misses and rebuilds — the usual content-addressed
+// guarantee that pruning can never corrupt, only cool, the cache.
+func (s *BankStore) Prune(maxBytes int64) (evicted int, freed int64, err error) {
+	if s == nil {
+		return 0, 0, nil
+	}
+	// Recency needs full-resolution mtimes: StoreEntry rounds to seconds,
+	// which would tie a bank written moments ago with colder same-second
+	// neighbors — and Put's write-through prune must never evict the entry
+	// it just wrote while an older one survives on a key tiebreak.
+	names, err := filepath.Glob(filepath.Join(s.dir, "*.bank"))
+	if err != nil {
+		return 0, 0, fmt.Errorf("core: bank store prune: %w", err)
+	}
+	type entry struct {
+		path string
+		size int64
+		mod  time.Time
+	}
+	var entries []entry
+	var total int64
+	for _, name := range names {
+		info, err := os.Stat(name)
+		if err != nil {
+			continue // raced with an eviction; skip
+		}
+		entries = append(entries, entry{path: name, size: info.Size(), mod: info.ModTime()})
+		total += info.Size()
+	}
+	// Oldest mtime first; ties break by path so eviction order is stable.
+	sort.Slice(entries, func(i, j int) bool {
+		if !entries[i].mod.Equal(entries[j].mod) {
+			return entries[i].mod.Before(entries[j].mod)
+		}
+		return entries[i].path < entries[j].path
+	})
+	for _, e := range entries {
+		if total <= maxBytes {
+			break
+		}
+		if rmErr := os.Remove(e.path); rmErr != nil {
+			if os.IsNotExist(rmErr) {
+				total -= e.size // raced with another pruner/evictor
+				continue
+			}
+			return evicted, freed, fmt.Errorf("core: bank store prune: %w", rmErr)
+		}
+		total -= e.size
+		freed += e.size
+		evicted++
+		s.evicted.Add(1)
+	}
+	return evicted, freed, nil
 }
 
 // GetOrBuild returns the cached bank for key, building and caching it on a
@@ -247,6 +330,26 @@ func (s *BankStore) GetOrBuild(key string, build func() (*Bank, error)) (*Bank, 
 	}
 	c.bank = b
 	return b, nil
+}
+
+// BoundCache applies a -cache-max-bytes style flag to a store: it installs
+// the write-through size bound and prunes immediately, reporting results and
+// failures through logf (a log.Printf-shaped sink). maxBytes <= 0 or a nil
+// store is a no-op — callers pass the flag through unconditionally. The
+// three CLIs (noisyevald, fedtune, figures) share this so prune errors are
+// never silently dropped.
+func BoundCache(store *BankStore, maxBytes int64, logf func(format string, args ...any)) {
+	if store == nil || maxBytes <= 0 {
+		return
+	}
+	store.SetMaxBytes(maxBytes)
+	evicted, freed, err := store.Prune(maxBytes)
+	switch {
+	case err != nil:
+		logf("cache prune: %v", err)
+	case evicted > 0:
+		logf("cache pruned to %d bytes: %d entries (%d bytes) evicted", maxBytes, evicted, freed)
+	}
 }
 
 // StoreEntry describes one cached bank on disk.

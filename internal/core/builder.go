@@ -1,0 +1,28 @@
+package core
+
+import "noisyeval/internal/data"
+
+// BankBuilder abstracts how a bank comes into existence for a given
+// (population, options, seed) triple. exper.Suite, serve.Manager, and the
+// figure scheduler all build banks exclusively through this interface, so
+// swapping the implementation — local training, content-addressed cache,
+// peer read-through, or the internal/dist coordinator/worker fleet — changes
+// where the training happens without touching any layer above.
+//
+// cached reports that the bank was obtained without training it in this call
+// (a store or peer hit); callers use it to count real builds.
+type BankBuilder interface {
+	BuildBank(pop *data.Population, opts BuildOptions, seed uint64) (b *Bank, cached bool, err error)
+}
+
+// LocalBuilder is the single-process BankBuilder: BuildBank through an
+// optional content-addressed store (exactly the pre-dist BuildBankCached
+// behavior). A nil Store degrades to a plain uncached build.
+type LocalBuilder struct {
+	Store *BankStore
+}
+
+// BuildBank implements BankBuilder.
+func (l LocalBuilder) BuildBank(pop *data.Population, opts BuildOptions, seed uint64) (*Bank, bool, error) {
+	return BuildBankCached(l.Store, pop, opts, seed)
+}

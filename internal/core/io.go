@@ -45,6 +45,10 @@ func LoadBank(path string) (*Bank, error) {
 	return decodeBank(f)
 }
 
+// DecodeBank reads one SaveBank encoding from r and validates it (the
+// internal/dist peer tier decodes banks straight off the wire with it).
+func DecodeBank(r io.Reader) (*Bank, error) { return decodeBank(r) }
+
 // decodeBank reads one SaveBank encoding from r and validates it. A non-nil
 // error means the content itself is bad (truncation, bit rot, format drift)
 // — the BankStore uses this distinction to evict only genuinely corrupt

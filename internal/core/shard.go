@@ -1,0 +1,250 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"noisyeval/internal/data"
+	"noisyeval/internal/fl"
+	"noisyeval/internal/hpo"
+	"noisyeval/internal/rng"
+)
+
+// This file splits bank construction into a deterministic skeleton
+// (BuildPlan) and range-restricted training (TrainRange → BankShard), so one
+// code path serves both the single-process BuildBank and the internal/dist
+// coordinator/worker fleet. Determinism rests on the rng package's labelled
+// Split: every per-config trainer stream is derived from (seed, "config-i")
+// alone, never from execution order, so a worker that trains only configs
+// [lo, hi) reproduces exactly the streams a full local build would hand those
+// configs. AssembleBank therefore yields a bank byte-identical to BuildBank
+// for the same (pop, opts, seed) no matter how the index space was sharded —
+// pinned by TestShardedBuildByteIdentical.
+
+// BuildPlan is the precomputed deterministic skeleton of one bank build:
+// checkpoint grid, evaluation pools per partition, and the sampled config
+// pool. Creating a plan is cheap (no training); it exists so shards and the
+// final assembly agree on every build input. Plans are safe for concurrent
+// TrainRange calls.
+type BuildPlan struct {
+	pop     *data.Population
+	opts    BuildOptions // normalized; Workers zeroed (content-independent)
+	seed    uint64
+	rounds  []int
+	parts   []float64
+	pools   [][]*data.Client
+	counts  [][]int
+	configs []fl.HParams
+	root    *rng.RNG
+}
+
+// NewBuildPlan validates the build inputs and derives the skeleton BuildBank
+// (local or sharded) trains against.
+func NewBuildPlan(pop *data.Population, opts BuildOptions, seed uint64) (*BuildPlan, error) {
+	if opts.NumConfigs < 1 {
+		return nil, fmt.Errorf("core: NumConfigs %d must be >= 1", opts.NumConfigs)
+	}
+	if opts.MaxRounds < 1 {
+		return nil, fmt.Errorf("core: MaxRounds %d must be >= 1", opts.MaxRounds)
+	}
+	opts = normalizeBuildOptions(opts)
+
+	root := rng.New(seed)
+	p := &BuildPlan{
+		pop:    pop,
+		opts:   opts,
+		seed:   seed,
+		rounds: hpo.RungRounds(opts.MaxRounds, opts.Eta, opts.Levels),
+		parts:  dedupFloats(append([]float64{0}, opts.Partitions...)),
+		root:   root,
+	}
+
+	// Evaluation pools: partition 0 is the natural split; others are iid
+	// repartitions (sizes preserved). Streams are labelled by the fraction,
+	// so every process derives identical pools.
+	p.pools = make([][]*data.Client, len(p.parts))
+	p.counts = make([][]int, len(p.parts))
+	for pi, frac := range p.parts {
+		if frac == 0 {
+			p.pools[pi] = pop.Val
+		} else {
+			p.pools[pi] = data.RepartitionIID(pop.Val, frac, root.Splitf("repartition-%.3f", frac))
+		}
+		p.counts[pi] = exampleCounts(p.pools[pi])
+	}
+
+	p.configs = opts.Configs
+	if len(p.configs) == 0 {
+		p.configs = opts.Space.SampleN(opts.NumConfigs, root.Split("pool"))
+	}
+	return p, nil
+}
+
+// NumConfigs returns the size of the config pool (the shardable dimension).
+func (p *BuildPlan) NumConfigs() int { return len(p.configs) }
+
+// BankShard holds the training output for one contiguous config index range
+// [Lo, Hi) of a bank build: per-partition, per-config (shard-local index),
+// per-checkpoint client error vectors plus divergence flags. Shards are the
+// unit of work the dist coordinator leases to workers.
+type BankShard struct {
+	// Lo and Hi bound the config index range [Lo, Hi).
+	Lo, Hi int
+	// Errs[pi][ci-Lo][ri] is the per-client error vector of config ci at
+	// checkpoint ri under partition pi.
+	Errs [][][][]float64
+	// Diverged[ci-Lo] reports whether config ci's training hit NaN.
+	Diverged []bool
+}
+
+// Validate checks the shard's shape against a plan.
+func (sh *BankShard) Validate(p *BuildPlan) error {
+	if sh.Lo < 0 || sh.Hi > p.NumConfigs() || sh.Lo >= sh.Hi {
+		return fmt.Errorf("core: shard range [%d, %d) invalid for %d configs", sh.Lo, sh.Hi, p.NumConfigs())
+	}
+	n := sh.Hi - sh.Lo
+	if len(sh.Diverged) != n {
+		return fmt.Errorf("core: shard diverged length %d, want %d", len(sh.Diverged), n)
+	}
+	if len(sh.Errs) != len(p.parts) {
+		return fmt.Errorf("core: shard has %d partitions, want %d", len(sh.Errs), len(p.parts))
+	}
+	for pi := range sh.Errs {
+		if len(sh.Errs[pi]) != n {
+			return fmt.Errorf("core: shard partition %d has %d configs, want %d", pi, len(sh.Errs[pi]), n)
+		}
+		for ci := range sh.Errs[pi] {
+			if len(sh.Errs[pi][ci]) != len(p.rounds) {
+				return fmt.Errorf("core: shard config %d has %d checkpoints, want %d", sh.Lo+ci, len(sh.Errs[pi][ci]), len(p.rounds))
+			}
+			for ri := range sh.Errs[pi][ci] {
+				if len(sh.Errs[pi][ci][ri]) != len(p.counts[pi]) {
+					return fmt.Errorf("core: shard errs[%d][%d][%d] has %d clients, want %d",
+						pi, sh.Lo+ci, ri, len(sh.Errs[pi][ci][ri]), len(p.counts[pi]))
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// TrainRange trains configs [lo, hi) of the plan's pool and records their
+// errors at every checkpoint under every partition. workers bounds
+// parallelism within the range (0 = GOMAXPROCS); it never affects content.
+func (p *BuildPlan) TrainRange(lo, hi, workers int) (*BankShard, error) {
+	if lo < 0 || hi > len(p.configs) || lo >= hi {
+		return nil, fmt.Errorf("core: train range [%d, %d) invalid for %d configs", lo, hi, len(p.configs))
+	}
+	n := hi - lo
+	sh := &BankShard{Lo: lo, Hi: hi, Diverged: make([]bool, n)}
+	sh.Errs = make([][][][]float64, len(p.parts))
+	for pi := range p.parts {
+		sh.Errs[pi] = make([][][]float64, n)
+		for ci := 0; ci < n; ci++ {
+			sh.Errs[pi][ci] = make([][]float64, len(p.rounds))
+		}
+	}
+
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var (
+		wg       sync.WaitGroup
+		sem      = make(chan struct{}, workers)
+		firstErr error
+		errOnce  sync.Once
+	)
+	for ci := lo; ci < hi; ci++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(ci int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			tr, err := fl.NewTrainer(p.pop, p.configs[ci], p.opts.Train, p.root.Splitf("config-%d", ci))
+			if err != nil {
+				errOnce.Do(func() { firstErr = fmt.Errorf("core: config %d: %w", ci, err) })
+				return
+			}
+			for ri, r := range p.rounds {
+				tr.TrainTo(r)
+				for pi := range p.parts {
+					sh.Errs[pi][ci-lo][ri] = tr.EvalClients(p.pools[pi])
+				}
+			}
+			sh.Diverged[ci-lo] = tr.Diverged()
+		}(ci)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return sh, nil
+}
+
+// ShardRanges splits n configs into contiguous [lo, hi) ranges of at most
+// size configs each (size <= 0 means one shard covering everything).
+func ShardRanges(n, size int) [][2]int {
+	if size <= 0 || size > n {
+		size = n
+	}
+	var out [][2]int
+	for lo := 0; lo < n; lo += size {
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		out = append(out, [2]int{lo, hi})
+	}
+	return out
+}
+
+// AssembleBank combines shards covering the plan's full config range into a
+// validated bank. Every config index must be covered by exactly one shard;
+// gaps, overlaps, and shape mismatches are errors. Because shard content
+// depends only on (pop, opts, seed, range), the assembled bank is
+// byte-identical to a single-process BuildBank of the same inputs.
+func AssembleBank(p *BuildPlan, shards []*BankShard) (*Bank, error) {
+	b := &Bank{
+		SpecName:      p.pop.Spec.Name,
+		Seed:          p.seed,
+		Configs:       p.configs,
+		Rounds:        p.rounds,
+		Partitions:    p.parts,
+		ExampleCounts: p.counts,
+		Diverged:      make([]bool, len(p.configs)),
+	}
+	b.Errs = make([][][][]float64, len(p.parts))
+	for pi := range p.parts {
+		b.Errs[pi] = make([][][]float64, len(p.configs))
+	}
+
+	sorted := append([]*BankShard(nil), shards...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Lo < sorted[j].Lo })
+	next := 0
+	for _, sh := range sorted {
+		if sh.Lo != next {
+			if sh.Lo < next {
+				return nil, fmt.Errorf("core: assemble: shards overlap at config %d", sh.Lo)
+			}
+			return nil, fmt.Errorf("core: assemble: configs [%d, %d) uncovered", next, sh.Lo)
+		}
+		if err := sh.Validate(p); err != nil {
+			return nil, fmt.Errorf("core: assemble: %w", err)
+		}
+		for pi := range b.Errs {
+			copy(b.Errs[pi][sh.Lo:sh.Hi], sh.Errs[pi])
+		}
+		copy(b.Diverged[sh.Lo:sh.Hi], sh.Diverged)
+		next = sh.Hi
+	}
+	if next != len(p.configs) {
+		return nil, fmt.Errorf("core: assemble: configs [%d, %d) uncovered", next, len(p.configs))
+	}
+	if err := b.Validate(); err != nil {
+		return nil, fmt.Errorf("core: assemble: %w", err)
+	}
+	b.buildIndex()
+	return b, nil
+}

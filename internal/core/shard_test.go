@@ -1,0 +1,207 @@
+package core
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"noisyeval/internal/data"
+)
+
+// shardTestInputs returns the miniature build the shard tests share.
+func shardTestInputs(t testing.TB) (*data.Population, BuildOptions, uint64) {
+	opts := DefaultBuildOptions()
+	opts.NumConfigs = 5
+	opts.MaxRounds = 9
+	opts.Partitions = []float64{0.5}
+	return goldenImagePop(t), opts, 7
+}
+
+// TestShardedBuildByteIdentical is the dist determinism pin: a bank
+// assembled from range shards — trained independently, in scrambled order,
+// with uneven split points — must be byte-identical to a single-process
+// BuildBank of the same (population, options, seed): same BankKey inputs,
+// same content hash, and the same gob+gzip encoding (the acceptance
+// criterion of the cluster protocol).
+func TestShardedBuildByteIdentical(t *testing.T) {
+	pop, opts, seed := shardTestInputs(t)
+
+	local, err := BuildBank(pop, opts, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	plan, err := NewBuildPlan(pop, opts, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.NumConfigs() != opts.NumConfigs {
+		t.Fatalf("plan has %d configs, want %d", plan.NumConfigs(), opts.NumConfigs)
+	}
+	// Uneven ranges, trained and assembled out of order — exactly what a
+	// fleet with heterogeneous workers produces.
+	var shards []*BankShard
+	for _, r := range [][2]int{{3, 5}, {0, 2}, {2, 3}} {
+		sh, err := plan.TrainRange(r[0], r[1], 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shards = append(shards, sh)
+	}
+	assembled, err := AssembleBank(plan, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got, want := hashBankContent(assembled), hashBankContent(local); got != want {
+		t.Fatalf("assembled bank content differs from local build:\n got %s\nwant %s", got, want)
+	}
+	if got, want := BankFingerprint(assembled), BankFingerprint(local); got != want {
+		t.Fatalf("assembled bank fingerprint differs: %s vs %s", got, want)
+	}
+
+	// Encoded-bytes identity: the exact artifact the BankStore persists and
+	// peers serve must match, not just the in-memory numbers.
+	dir := t.TempDir()
+	encode := func(name string, b *Bank) []byte {
+		t.Helper()
+		path := filepath.Join(dir, name)
+		if err := SaveBank(b, path); err != nil {
+			t.Fatal(err)
+		}
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return raw
+	}
+	lb, ab := encode("local.bank", local), encode("assembled.bank", assembled)
+	if !bytes.Equal(lb, ab) {
+		t.Fatalf("gob+gzip encodings differ: local %x, assembled %x",
+			sha256.Sum256(lb), sha256.Sum256(ab))
+	}
+}
+
+// TestTrainRangeDeterministicPerRange verifies a re-trained range reproduces
+// itself exactly (what makes duplicate/late shard completions trivially
+// safe to accept from any worker).
+func TestTrainRangeDeterministicPerRange(t *testing.T) {
+	pop, opts, seed := shardTestInputs(t)
+	plan, err := NewBuildPlan(pop, opts, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := plan.TrainRange(1, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := plan.TrainRange(1, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pi := range a.Errs {
+		for ci := range a.Errs[pi] {
+			for ri := range a.Errs[pi][ci] {
+				for k := range a.Errs[pi][ci][ri] {
+					if a.Errs[pi][ci][ri][k] != b.Errs[pi][ci][ri][k] {
+						t.Fatalf("errs[%d][%d][%d][%d] differ across retrains", pi, ci, ri, k)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestAssembleBankRejectsBadCoverage pins the assembly guards: gaps,
+// overlaps, and shape drift must all fail loudly rather than produce a
+// silently wrong bank.
+func TestAssembleBankRejectsBadCoverage(t *testing.T) {
+	pop, opts, seed := shardTestInputs(t)
+	plan, err := NewBuildPlan(pop, opts, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, err := plan.TrainRange(0, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid, err := plan.TrainRange(2, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := plan.TrainRange(4, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name   string
+		shards []*BankShard
+	}{
+		{"gap", []*BankShard{lo, hi}},
+		{"overlap", []*BankShard{lo, lo, mid, hi}},
+		{"missing tail", []*BankShard{lo, mid}},
+		{"empty", nil},
+	}
+	for _, tc := range cases {
+		if _, err := AssembleBank(plan, tc.shards); err == nil {
+			t.Errorf("%s: AssembleBank accepted invalid coverage", tc.name)
+		}
+	}
+
+	// Shape drift: a shard claiming the right range with truncated rounds.
+	bad := &BankShard{Lo: 4, Hi: 5, Diverged: []bool{false}, Errs: make([][][][]float64, len(lo.Errs))}
+	for pi := range bad.Errs {
+		bad.Errs[pi] = [][][]float64{{}}
+	}
+	if _, err := AssembleBank(plan, []*BankShard{lo, mid, bad}); err == nil {
+		t.Error("AssembleBank accepted a malformed shard")
+	}
+}
+
+// TestShardRanges pins the shard splitting arithmetic.
+func TestShardRanges(t *testing.T) {
+	cases := []struct {
+		n, size int
+		want    [][2]int
+	}{
+		{5, 2, [][2]int{{0, 2}, {2, 4}, {4, 5}}},
+		{4, 2, [][2]int{{0, 2}, {2, 4}}},
+		{3, 0, [][2]int{{0, 3}}},
+		{3, 10, [][2]int{{0, 3}}},
+		{1, 1, [][2]int{{0, 1}}},
+	}
+	for _, tc := range cases {
+		got := ShardRanges(tc.n, tc.size)
+		if fmt.Sprint(got) != fmt.Sprint(tc.want) {
+			t.Errorf("ShardRanges(%d, %d) = %v, want %v", tc.n, tc.size, got, tc.want)
+		}
+	}
+}
+
+// TestNewBuildPlanValidates pins input validation (shared with BuildBank).
+func TestNewBuildPlanValidates(t *testing.T) {
+	pop, opts, seed := shardTestInputs(t)
+	bad := opts
+	bad.NumConfigs = 0
+	if _, err := NewBuildPlan(pop, bad, seed); err == nil {
+		t.Error("NewBuildPlan accepted NumConfigs = 0")
+	}
+	bad = opts
+	bad.MaxRounds = 0
+	if _, err := NewBuildPlan(pop, bad, seed); err == nil {
+		t.Error("NewBuildPlan accepted MaxRounds = 0")
+	}
+	plan, err := NewBuildPlan(pop, opts, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range [][2]int{{-1, 2}, {0, 6}, {3, 3}, {4, 2}} {
+		if _, err := plan.TrainRange(r[0], r[1], 0); err == nil {
+			t.Errorf("TrainRange(%d, %d) accepted an invalid range", r[0], r[1])
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package dist
+
+import (
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"noisyeval/internal/core"
+	"noisyeval/internal/data"
+)
+
+// Builder is the cluster-aware core.BankBuilder: a read-through tier stack
+// over the same content address every layer of the system shares.
+//
+//	local store hit  →  cached bank, no work
+//	warm peer hit    →  GET /v1/banks/{key} from a peer, persisted locally
+//	coordinator      →  sharded build across the worker fleet
+//	fallback         →  single-process BuildBankCached
+//
+// Suite-level once-per-key guards and the store's singleflight keep
+// concurrent requests for one key from racing down the stack.
+type Builder struct {
+	// Store is the local content-addressed cache (nil = no local tier).
+	Store *core.BankStore
+	// Peers are base URLs of warm daemons whose /v1/banks/{key} endpoint
+	// can seed this process without retraining.
+	Peers []string
+	// Coord, when set, shards cold builds across the fleet.
+	Coord *Coordinator
+	// Client fetches from peers (default: 5-second timeout — a warm peer
+	// answers from a local file, and peers are probed serially ahead of
+	// the build tiers, so a hung peer must not stall cold builds).
+	Client *http.Client
+
+	peerHits, peerMisses atomic.Int64
+}
+
+// BuilderStats reports the peer tier's effectiveness.
+type BuilderStats struct {
+	PeerHits   int64 `json:"peer_hits"`
+	PeerMisses int64 `json:"peer_misses"`
+}
+
+// Stats snapshots the builder counters.
+func (b *Builder) Stats() BuilderStats {
+	return BuilderStats{PeerHits: b.peerHits.Load(), PeerMisses: b.peerMisses.Load()}
+}
+
+// BuildBank implements core.BankBuilder. cached reports that no training was
+// scheduled anywhere on behalf of this call (local or peer hit).
+func (b *Builder) BuildBank(pop *data.Population, opts core.BuildOptions, seed uint64) (*core.Bank, bool, error) {
+	key := core.BankKeyForPopulation(pop, opts, seed)
+	if bank, err := b.Store.Get(key); err == nil && bank != nil {
+		return bank, true, nil
+	}
+	if bank := b.fetchFromPeers(key); bank != nil {
+		if b.Store != nil {
+			b.Store.Put(key, bank) // best-effort, like every cache write
+		}
+		return bank, true, nil
+	}
+	if b.Coord != nil {
+		bank, err := b.Coord.BuildSharded(pop, opts, seed)
+		return bank, false, err
+	}
+	return core.BuildBankCached(b.Store, pop, opts, seed)
+}
+
+// fetchFromPeers tries each warm peer in order and returns the first bank
+// that downloads and validates. Peer failures are soft: a dead or cold peer
+// just means building locally.
+func (b *Builder) fetchFromPeers(key string) *core.Bank {
+	if len(b.Peers) == 0 || !safeKey(key) {
+		return nil
+	}
+	client := b.Client
+	if client == nil {
+		client = &http.Client{Timeout: 5 * time.Second}
+	}
+	for _, peer := range b.Peers {
+		bank, err := fetchBank(client, peer, key)
+		if err != nil {
+			b.peerMisses.Add(1)
+			continue
+		}
+		b.peerHits.Add(1)
+		return bank
+	}
+	return nil
+}
+
+// fetchBank downloads and decodes one bank from a peer.
+func fetchBank(client *http.Client, peer, key string) (*core.Bank, error) {
+	resp, err := client.Get(peer + "/v1/banks/" + key)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("dist: peer %s: %s", peer, resp.Status)
+	}
+	// The wire bytes are the store's on-disk encoding; DecodeBank validates
+	// before the bank is trusted or persisted.
+	return core.DecodeBank(resp.Body)
+}

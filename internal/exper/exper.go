@@ -143,6 +143,11 @@ type Suite struct {
 	// store, when set, is consulted before building any bank and receives
 	// every freshly built bank (content-addressed by core.BankKey).
 	store *core.BankStore
+	// bankBuilder, when set, overrides how banks come into existence (the
+	// dist.Builder tier stack in cluster mode); nil means a LocalBuilder
+	// over store. Every bank access — figure drivers, the scheduler's bank
+	// tasks, RunTune — routes through it.
+	bankBuilder core.BankBuilder
 
 	mu    sync.Mutex
 	pops  map[string]*popEntry
@@ -189,6 +194,27 @@ func (s *Suite) Store() *core.BankStore {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.store
+}
+
+// SetBuilder attaches a bank builder (e.g. dist.Builder for cluster mode):
+// all bank construction routes through it instead of the default
+// local-store path. Attach before the first bank access.
+func (s *Suite) SetBuilder(b core.BankBuilder) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.bankBuilder = b
+}
+
+// builder resolves the effective bank builder: the attached one, else a
+// LocalBuilder over the attached store (which may be nil — an always-miss
+// cache, preserving pre-dist behavior exactly).
+func (s *Suite) builder() core.BankBuilder {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.bankBuilder != nil {
+		return s.bankBuilder
+	}
+	return core.LocalBuilder{Store: s.store}
 }
 
 // BankBuilds returns how many banks this suite actually trained (loads from
@@ -240,10 +266,11 @@ func (s *Suite) bankFor(key string, build func() *core.Bank) *core.Bank {
 	return e.bank
 }
 
-// buildCached routes one bank build through the attached store (when any),
-// counting only actual training against BankBuilds.
+// buildCached routes one bank build through the suite's builder (local
+// store by default, the dist tier stack in cluster mode), counting only
+// actual training against BankBuilds.
 func (s *Suite) buildCached(label string, pop *data.Population, opts core.BuildOptions, seed uint64) *core.Bank {
-	b, hit, err := core.BuildBankCached(s.Store(), pop, opts, seed)
+	b, hit, err := s.builder().BuildBank(pop, opts, seed)
 	if err != nil {
 		panic(fmt.Sprintf("exper: bank %s: %v", label, err))
 	}

@@ -66,10 +66,13 @@ type Event struct {
 // pool. Every declared artifact (bank, population) becomes its own task,
 // deduplicated across drivers, so bank construction is demand-driven and
 // overlaps driver execution: a driver starts the moment its own deps are
-// ready, regardless of other banks still training. The first failing task
-// cancels everything not yet started; in-flight tasks finish. Results are
-// independent of the worker count — every driver derives its randomness
-// from the suite seed, never from execution order.
+// ready, regardless of other banks still training. Bank tasks execute
+// through the suite's core.BankBuilder, so in cluster mode (cmd/figures
+// -cluster-addr) each "bank:*" task fans out into dist shard jobs while
+// the scheduler's own pool keeps other drivers moving. The first failing
+// task cancels everything not yet started; in-flight tasks finish. Results
+// are independent of the worker count — every driver derives its
+// randomness from the suite seed, never from execution order.
 type Scheduler struct {
 	// Jobs bounds concurrent tasks (0 = GOMAXPROCS). Note bank builds are
 	// additionally parallel internally (Config.Workers).

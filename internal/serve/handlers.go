@@ -7,7 +7,9 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -30,6 +32,9 @@ type Server struct {
 	inFl    atomic.Int64
 	total   atomic.Int64
 	maxBody int64
+
+	varsMu    sync.Mutex
+	extraVars []func(set func(name string, v int64))
 }
 
 // NewServer wires the routes for a manager.
@@ -49,6 +54,20 @@ func NewServer(m *Manager) *Server {
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /debug/vars", s.handleVars)
 	return s
+}
+
+// Mux exposes the server's route table so extra endpoint families (the
+// dist coordinator's /v1/work/* and /v1/banks/{key} in cluster mode) can be
+// mounted alongside the run API; mount before serving traffic.
+func (s *Server) Mux() *http.ServeMux { return s.mux }
+
+// AddVars registers a counter source folded into /debug/vars on every
+// request (cluster mode adds the dist coordinator's shard counters this
+// way). fn receives a setter and must be safe for concurrent use.
+func (s *Server) AddVars(fn func(set func(name string, v int64))) {
+	s.varsMu.Lock()
+	defer s.varsMu.Unlock()
+	s.extraVars = append(s.extraVars, fn)
 }
 
 // ServeHTTP implements http.Handler with in-flight/total accounting.
@@ -94,11 +113,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	case errors.Is(err, ErrBadRequest):
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
-	case errors.Is(err, ErrQueueFull):
-		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusServiceUnavailable, "%v", err)
-		return
-	case errors.Is(err, ErrShuttingDown):
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrShuttingDown):
+		// Retry-After tracks reality: queue-depth-derived while serving,
+		// a restart window while draining (Manager.RetryAfterSeconds).
+		w.Header().Set("Retry-After", strconv.Itoa(s.mgr.RetryAfterSeconds()))
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
 		return
 	case err != nil:
@@ -189,12 +207,25 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 
 // handleEvents streams a run's event history plus live events until the
 // terminal event. Default framing is NDJSON (one JSON event per line);
-// Accept: text/event-stream switches to SSE.
+// Accept: text/event-stream switches to SSE. Every SSE frame carries a
+// monotonically increasing "id:" line (the event's Seq), and a reconnecting
+// client that sends Last-Event-ID resumes after that sequence number instead
+// of replaying the whole history — the event log is append-only, so
+// filtering the replay by Seq is exact. The header is honored for NDJSON
+// clients too.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	run, ok := s.mgr.Registry().Get(r.PathValue("id"))
 	if !ok {
 		writeError(w, http.StatusNotFound, "no run %q (expired or never submitted)", r.PathValue("id"))
 		return
+	}
+	// Resume cursor: replay only events with Seq > Last-Event-ID. Absent or
+	// malformed headers replay from the start (afterSeq -1).
+	afterSeq := -1
+	if v := strings.TrimSpace(r.Header.Get("Last-Event-ID")); v != "" {
+		if id, err := strconv.Atoi(v); err == nil && id >= 0 {
+			afterSeq = id
+		}
 	}
 	flusher, _ := w.(http.Flusher)
 	sse := strings.Contains(r.Header.Get("Accept"), "text/event-stream")
@@ -207,12 +238,15 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
 
 	writeEvent := func(e Event) bool {
+		if e.Seq <= afterSeq {
+			return true // already delivered on a previous connection
+		}
 		data, err := json.Marshal(e)
 		if err != nil {
 			return false
 		}
 		if sse {
-			fmt.Fprintf(w, "event: %s\ndata: %s\n\n", e.Type, data)
+			fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", e.Seq, e.Type, data)
 		} else {
 			w.Write(data)
 			io.WriteString(w, "\n")
@@ -316,6 +350,12 @@ func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {
 	setInt("bank_builds_trained", s.mgr.BankBuilds())
 	setInt("http_requests_in_flight", s.inFl.Load())
 	setInt("http_requests_total", s.total.Load())
+	s.varsMu.Lock()
+	extra := append([]func(func(string, int64)){}, s.extraVars...)
+	s.varsMu.Unlock()
+	for _, fn := range extra {
+		fn(setInt)
+	}
 	w.Header().Set("Content-Type", "application/json")
 	fmt.Fprintln(w, s.vars.String())
 }

@@ -28,6 +28,11 @@ var (
 type Options struct {
 	// Store is the shared content-addressed bank cache (nil = no cache).
 	Store *core.BankStore
+	// Builder, when set, overrides how suites build banks (cluster mode
+	// hands the dist.Builder tier stack here: local store → warm peers →
+	// coordinator-sharded fleet build). nil preserves the local path over
+	// Store.
+	Builder core.BankBuilder
 	// Workers bounds concurrently executing runs (default 2).
 	Workers int
 	// QueueDepth bounds queued-but-not-running runs; a full queue rejects
@@ -148,8 +153,29 @@ func (m *Manager) suiteFor(scale string) (*exper.Suite, error) {
 	}
 	s := exper.NewSuite(cfg)
 	s.SetStore(m.opts.Store)
+	if m.opts.Builder != nil {
+		s.SetBuilder(m.opts.Builder)
+	}
 	m.suites[scale] = s
 	return s, nil
+}
+
+// RetryAfterSeconds derives the Retry-After value for 503 responses from
+// the manager's actual state instead of a constant: during drain the answer
+// is "come back after a restart window"; under backpressure it estimates
+// how long the backlog needs to clear one slot, assuming runs take on the
+// order of a second each (quick-scale warm runs are much faster, cold
+// full-scale ones slower — the estimate only needs the right magnitude for
+// a polite client backoff).
+func (m *Manager) RetryAfterSeconds() int {
+	if m.draining() {
+		return 30
+	}
+	sec := 1 + int(m.queued.Load())/m.opts.Workers
+	if sec > 60 {
+		sec = 60
+	}
+	return sec
 }
 
 // Submit validates, keys, and enqueues one run request. created is false

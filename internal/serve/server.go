@@ -15,6 +15,7 @@ import (
 // request handlers.
 type Daemon struct {
 	Manager *Manager
+	srv     *Server
 	http    *http.Server
 	ln      net.Listener
 }
@@ -24,6 +25,7 @@ func NewDaemon(addr string, m *Manager) *Daemon {
 	srv := NewServer(m)
 	return &Daemon{
 		Manager: m,
+		srv:     srv,
 		http: &http.Server{
 			Addr:              addr,
 			Handler:           srv,
@@ -31,6 +33,11 @@ func NewDaemon(addr string, m *Manager) *Daemon {
 		},
 	}
 }
+
+// Server returns the daemon's HTTP facade, so additional route families —
+// the dist coordinator endpoints in cluster mode — can be mounted before
+// serving.
+func (d *Daemon) Server() *Server { return d.srv }
 
 // Listen binds the address (split from Serve so callers can report the bound
 // address — e.g. addr ":0" in tests — before serving).

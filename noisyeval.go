@@ -115,10 +115,21 @@ type (
 	// LiveOracle trains configurations on demand.
 	LiveOracle = core.LiveOracle
 	// BankStore is the content-addressed on-disk bank cache (entries keyed
-	// by BankKey, written atomically, corrupt entries evicted on load).
+	// by BankKey, written atomically, corrupt entries evicted on load,
+	// size-boundable via SetMaxBytes/Prune).
 	BankStore = core.BankStore
 	// StoreStats reports BankStore cache-effectiveness counters.
 	StoreStats = core.StoreStats
+	// BankBuilder abstracts how banks come into existence (local build,
+	// cache, or the internal/dist coordinator/worker fleet).
+	BankBuilder = core.BankBuilder
+	// LocalBuilder is the single-process BankBuilder over an optional store.
+	LocalBuilder = core.LocalBuilder
+	// BuildPlan is the deterministic skeleton of one bank build; shards of
+	// its config range train independently and assemble byte-identically.
+	BuildPlan = core.BuildPlan
+	// BankShard is the training output for one config index range.
+	BankShard = core.BankShard
 	// Tuner couples a method, space, and settings.
 	Tuner = core.Tuner
 	// Noise describes a combined evaluation-noise setting.
@@ -164,8 +175,12 @@ var (
 	BankKey               = core.BankKey
 	BankKeyForPopulation  = core.BankKeyForPopulation
 	PopulationFingerprint = core.PopulationFingerprint
+	NewBuildPlan          = core.NewBuildPlan
+	AssembleBank          = core.AssembleBank
+	ShardRanges           = core.ShardRanges
 	SaveBank              = core.SaveBank
 	LoadBank              = core.LoadBank
+	DecodeBank            = core.DecodeBank
 	NewBankOracle         = core.NewBankOracle
 	NewLiveOracle         = core.NewLiveOracle
 	FinalErrors           = core.FinalErrors
