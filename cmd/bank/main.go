@@ -78,6 +78,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		store.Logf = log.Printf
 		log.Printf("bank cache at %s (key %s)", store.Dir(), core.BankKeyForPopulation(pop, opts, *seed))
 	}
 

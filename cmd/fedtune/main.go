@@ -60,6 +60,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		store.Logf = log.Printf
 		suite.SetStore(store)
 		log.Printf("bank cache at %s", store.Dir())
 		core.BoundCache(store, *cacheMaxBytes, log.Printf)

@@ -63,6 +63,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		store.Logf = log.Printf
 		log.Printf("bank cache at %s", store.Dir())
 		core.BoundCache(store, *cacheMaxBytes, log.Printf)
 	} else {

@@ -33,9 +33,10 @@ type Bank struct {
 	// pool for which errors were recorded (Figure 4); always includes 0
 	// (the natural partition) at index 0.
 	Partitions []float64
-	// Errs[p][c][r] is the per-client error vector of config c at
-	// checkpoint r under partition p.
-	Errs [][][][]float64
+	// Errs is the dense error tensor: Errs.Row(p, c, r) is the per-client
+	// error vector of config c at checkpoint r under partition p, a view
+	// into one contiguous arena (see ErrMatrix).
+	Errs ErrMatrix
 	// ExampleCounts[p][k] is validation client k's example count under
 	// partition p (weights for Eq. 2; repartitioning preserves sizes, so
 	// rows are equal, but they are stored per partition for integrity).
@@ -108,7 +109,7 @@ func BuildBank(pop *data.Population, opts BuildOptions, seed uint64) (*Bank, err
 	return AssembleBank(plan, []*BankShard{shard})
 }
 
-// buildIndex (re)creates the config lookup map (needed after gob decoding).
+// buildIndex (re)creates the config lookup map (needed after decoding).
 func (b *Bank) buildIndex() {
 	b.index = make(map[fl.HParams]int, len(b.Configs))
 	for i, c := range b.Configs {
@@ -155,7 +156,8 @@ func (b *Bank) MaxRounds() int { return b.Rounds[len(b.Rounds)-1] }
 func (b *Bank) NumClients() int { return len(b.ExampleCounts[0]) }
 
 // ClientErrors returns the per-client error vector for (partition p, config
-// index, rounds). The slice is owned by the bank; callers must not modify it.
+// index, rounds). The slice is a view into the bank's arena; callers must not
+// modify it.
 func (b *Bank) ClientErrors(partition float64, configIdx, rounds int) ([]float64, error) {
 	pi, err := b.PartitionIndex(partition)
 	if err != nil {
@@ -164,7 +166,7 @@ func (b *Bank) ClientErrors(partition float64, configIdx, rounds int) ([]float64
 	if configIdx < 0 || configIdx >= len(b.Configs) {
 		return nil, fmt.Errorf("core: config index %d out of range [0, %d)", configIdx, len(b.Configs))
 	}
-	return b.Errs[pi][configIdx][b.CheckpointIndex(rounds)], nil
+	return b.Errs.Row(pi, configIdx, b.CheckpointIndex(rounds)), nil
 }
 
 // Validate checks the bank's structural integrity (used after loading).
@@ -178,24 +180,17 @@ func (b *Bank) Validate() error {
 	if !sort.IntsAreSorted(b.Rounds) {
 		return fmt.Errorf("core: checkpoint rounds %v not sorted", b.Rounds)
 	}
-	if len(b.Errs) != len(b.Partitions) || len(b.ExampleCounts) != len(b.Partitions) {
+	if len(b.ExampleCounts) != len(b.Partitions) {
 		return fmt.Errorf("core: partition dimension mismatch")
 	}
 	n := len(b.ExampleCounts[0])
-	for pi := range b.Errs {
-		if len(b.Errs[pi]) != len(b.Configs) {
-			return fmt.Errorf("core: partition %d has %d configs, want %d", pi, len(b.Errs[pi]), len(b.Configs))
+	for pi, row := range b.ExampleCounts {
+		if len(row) != n {
+			return fmt.Errorf("core: example counts row %d has %d clients, want %d", pi, len(row), n)
 		}
-		for ci := range b.Errs[pi] {
-			if len(b.Errs[pi][ci]) != len(b.Rounds) {
-				return fmt.Errorf("core: config %d has %d checkpoints, want %d", ci, len(b.Errs[pi][ci]), len(b.Rounds))
-			}
-			for ri := range b.Errs[pi][ci] {
-				if len(b.Errs[pi][ci][ri]) != n {
-					return fmt.Errorf("core: errs[%d][%d][%d] has %d clients, want %d", pi, ci, ri, len(b.Errs[pi][ci][ri]), n)
-				}
-			}
-		}
+	}
+	if err := b.Errs.CheckShape(len(b.Partitions), len(b.Configs), len(b.Rounds), n); err != nil {
+		return err
 	}
 	if len(b.Diverged) != len(b.Configs) {
 		return fmt.Errorf("core: diverged flags mismatch")

@@ -1,0 +1,403 @@
+package core
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"noisyeval/internal/data"
+	"noisyeval/internal/fl"
+	"noisyeval/internal/rng"
+)
+
+// gobBankV2 mirrors the pre-bankfmt bank layout: nested error slices,
+// serialized as gzipped gob. Tests use it to plant legacy cache entries and
+// to pin the size and speed comparisons the refactor claims.
+type gobBankV2 struct {
+	SpecName      string
+	Seed          uint64
+	Configs       []fl.HParams
+	Rounds        []int
+	Partitions    []float64
+	Errs          [][][][]float64
+	ExampleCounts [][]int
+	Diverged      []bool
+}
+
+// legacyEncode renders b exactly as the old SaveBank did: gob of the
+// nested-slice struct, wrapped in one gzip member.
+func legacyEncode(t testing.TB, b *Bank) []byte {
+	t.Helper()
+	lb := gobBankV2{
+		SpecName:      b.SpecName,
+		Seed:          b.Seed,
+		Configs:       b.Configs,
+		Rounds:        b.Rounds,
+		Partitions:    b.Partitions,
+		ExampleCounts: b.ExampleCounts,
+		Diverged:      b.Diverged,
+	}
+	lb.Errs = make([][][][]float64, b.Errs.Parts)
+	for pi := range lb.Errs {
+		lb.Errs[pi] = make([][][]float64, b.Errs.Configs)
+		for ci := range lb.Errs[pi] {
+			lb.Errs[pi][ci] = make([][]float64, b.Errs.Checkpoints)
+			for ri := range lb.Errs[pi][ci] {
+				lb.Errs[pi][ci][ri] = append([]float64(nil), b.Errs.Row(pi, ci, ri)...)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	if err := gob.NewEncoder(zw).Encode(&lb); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func encodeBankBytes(t testing.TB, b *Bank) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := EncodeBank(&buf, b); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestBankCodecRoundTrip(t *testing.T) {
+	b, _ := tinyBank(t)
+	raw := encodeBankBytes(t, b)
+	got, err := DecodeBank(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SpecName != b.SpecName || got.Seed != b.Seed {
+		t.Error("metadata lost in round trip")
+	}
+	if len(got.Configs) != len(b.Configs) || got.Configs[3] != b.Configs[3] {
+		t.Error("configs lost in round trip")
+	}
+	if fmt.Sprint(got.Rounds) != fmt.Sprint(b.Rounds) || fmt.Sprint(got.Partitions) != fmt.Sprint(b.Partitions) {
+		t.Error("rounds/partitions lost in round trip")
+	}
+	if fmt.Sprint(got.ExampleCounts) != fmt.Sprint(b.ExampleCounts) {
+		t.Error("example counts lost in round trip")
+	}
+	if !bytes.Equal(float64Bytes(got.Errs.Data), float64Bytes(b.Errs.Data)) {
+		t.Error("error arena changed in round trip")
+	}
+	// Deterministic: encoding the same content twice yields the same bytes
+	// (what byte-identity of sharded vs local builds rests on).
+	if !bytes.Equal(raw, encodeBankBytes(t, b)) {
+		t.Error("bank encoding is not deterministic")
+	}
+}
+
+// TestBankCodecRobustness drives every corruption class through DecodeBank
+// and requires a clean error — never a panic, never a silently wrong bank.
+func TestBankCodecRobustness(t *testing.T) {
+	b, _ := tinyBank(t)
+	raw := encodeBankBytes(t, b)
+
+	mutate := func(f func(c []byte) []byte) []byte {
+		c := append([]byte(nil), raw...)
+		return f(c)
+	}
+	cases := map[string][]byte{
+		"empty":            {},
+		"truncated header": raw[:bankfmtHeaderLen-7],
+		"truncated meta":   raw[:bankfmtHeaderLen+3],
+		"truncated floats": raw[:len(raw)-9],
+		"wrong magic": mutate(func(c []byte) []byte {
+			copy(c[0:6], "XXBANK")
+			return c
+		}),
+		"shard magic on bank path": mutate(func(c []byte) []byte {
+			copy(c[0:6], shardMagic[:])
+			return c
+		}),
+		"corrupted header (meta length)": mutate(func(c []byte) []byte {
+			binary.LittleEndian.PutUint32(c[12:16], 1<<30)
+			return c
+		}),
+		"corrupted header (float count mismatch)": mutate(func(c []byte) []byte {
+			binary.LittleEndian.PutUint64(c[16:24], 7)
+			return c
+		}),
+		"corrupted header (meta CRC)": mutate(func(c []byte) []byte {
+			c[25] ^= 0xff
+			return c
+		}),
+		"corrupted payload (early)": mutate(func(c []byte) []byte {
+			c[bankfmtHeaderLen+16] ^= 0xff
+			return c
+		}),
+		"corrupted payload (late)": mutate(func(c []byte) []byte {
+			c[len(c)-20] ^= 0xff
+			return c
+		}),
+		"trailing truncation to header only": raw[:bankfmtHeaderLen],
+	}
+	for name, payload := range cases {
+		if _, err := DecodeBank(bytes.NewReader(payload)); err == nil {
+			t.Errorf("%s: decode accepted corrupt payload", name)
+		}
+	}
+}
+
+func TestBankCodecFormatGenerations(t *testing.T) {
+	b, _ := tinyBank(t)
+
+	// Legacy gob+gzip bytes must be recognized as a stale format, not as
+	// generic corruption: the BankStore rebuilds them silently.
+	if _, err := DecodeBank(bytes.NewReader(legacyEncode(t, b))); !errors.Is(err, ErrLegacyBankFormat) {
+		t.Errorf("legacy bytes: err = %v, want ErrLegacyBankFormat", err)
+	}
+	if !IsStaleBankFormat(ErrLegacyBankFormat) || !IsStaleBankFormat(ErrUnknownBankVersion) {
+		t.Error("IsStaleBankFormat must cover both stale generations")
+	}
+	if IsStaleBankFormat(errors.New("core: bank metadata checksum mismatch")) {
+		t.Error("corruption misclassified as stale format")
+	}
+
+	raw := encodeBankBytes(t, b)
+	future := append([]byte(nil), raw...)
+	binary.LittleEndian.PutUint16(future[6:8], bankfmtVersion+1)
+	if _, err := DecodeBank(bytes.NewReader(future)); !errors.Is(err, ErrUnknownBankVersion) {
+		t.Errorf("future version: err = %v, want ErrUnknownBankVersion", err)
+	}
+	flagged := append([]byte(nil), raw...)
+	binary.LittleEndian.PutUint32(flagged[8:12], knownFlags|0x80)
+	if _, err := DecodeBank(bytes.NewReader(flagged)); !errors.Is(err, ErrUnknownBankVersion) {
+		t.Errorf("unknown flag: err = %v, want ErrUnknownBankVersion", err)
+	}
+}
+
+func TestShardCodecRoundTripAndRobustness(t *testing.T) {
+	pop, opts, seed := shardTestInputs(t)
+	plan, err := NewBuildPlan(pop, opts, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := plan.TrainRange(1, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := EncodeShard(&buf, sh); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	back, err := DecodeShard(bytes.NewReader(raw), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Lo != sh.Lo || back.Hi != sh.Hi {
+		t.Fatalf("range drifted: [%d, %d)", back.Lo, back.Hi)
+	}
+	if err := back.Validate(plan); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(float64Bytes(back.Errs.Data), float64Bytes(sh.Errs.Data)) {
+		t.Error("shard arena changed in round trip")
+	}
+
+	if _, err := DecodeShard(bytes.NewReader(raw[:len(raw)-5]), 0); err == nil {
+		t.Error("truncated shard accepted")
+	}
+	small := int64(sh.Errs.Parts*sh.Errs.Configs*sh.Errs.Checkpoints*sh.Errs.Clients*8 - 8)
+	if _, err := DecodeShard(bytes.NewReader(raw), small); err == nil {
+		t.Error("shard exceeding the arena cap accepted")
+	}
+	wrongKind := append([]byte(nil), raw...)
+	copy(wrongKind[0:6], bankMagic[:])
+	if _, err := DecodeShard(bytes.NewReader(wrongKind), 0); err == nil {
+		t.Error("bank magic accepted on the shard path")
+	}
+}
+
+// TestEncodedBankNotLargerThanLegacy pins the size acceptance criterion:
+// bankfmt/v3 must not regress the on-disk footprint relative to the gob+gzip
+// format it replaces (measured on a real trained bank).
+func TestEncodedBankNotLargerThanLegacy(t *testing.T) {
+	b, _ := tinyBank(t)
+	newLen, oldLen := len(encodeBankBytes(t, b)), len(legacyEncode(t, b))
+	t.Logf("bankfmt/v3 %d bytes, legacy gob+gzip %d bytes (%.2fx)", newLen, oldLen, float64(newLen)/float64(oldLen))
+	if newLen > oldLen {
+		t.Errorf("bankfmt/v3 encoding (%d bytes) larger than legacy gob+gzip (%d bytes)", newLen, oldLen)
+	}
+}
+
+func TestBankStoreStaleFormatEvictedAndRebuilt(t *testing.T) {
+	b := storeBank(t)
+	store, err := NewBankStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var logged []string
+	store.Logf = func(format string, args ...any) {
+		logged = append(logged, fmt.Sprintf(format, args...))
+	}
+	key := BankKey(tinySpec(), tinyBuildOptions(), 7)
+
+	// Plant a legacy v2 gob+gzip entry exactly where the current key lives —
+	// what a cache dir left over from a pre-refactor build looks like.
+	if err := os.WriteFile(store.Path(key), legacyEncode(t, b), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := store.Get(key)
+	if err != nil || got != nil {
+		t.Fatalf("stale-format Get = %v, %v; want clean miss", got, err)
+	}
+	if _, err := os.Stat(store.Path(key)); !os.IsNotExist(err) {
+		t.Error("stale-format entry not evicted")
+	}
+	st := store.Stats()
+	if st.StaleFormat != 1 || st.Evicted != 1 {
+		t.Errorf("stats = %+v, want StaleFormat=1 Evicted=1", st)
+	}
+	if len(logged) != 1 || !strings.Contains(logged[0], "stale-format") {
+		t.Errorf("stale eviction not logged: %q", logged)
+	}
+
+	// GetOrBuild transparently rebuilds and re-stores in the new format.
+	builds := 0
+	got, err = store.GetOrBuild(key, func() (*Bank, error) {
+		builds++
+		return b, nil
+	})
+	if err != nil || got == nil || builds != 1 {
+		t.Fatalf("rebuild after stale format: bank=%v err=%v builds=%d", got != nil, err, builds)
+	}
+	raw, err := os.ReadFile(store.Path(key))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(raw, bankMagic[:]) {
+		t.Error("rebuilt entry not in bankfmt/v3")
+	}
+
+	// A genuinely corrupt entry still evicts without the stale stat moving.
+	if err := os.WriteFile(store.Path(key), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := store.Get(key); err != nil || got != nil {
+		t.Fatalf("corrupt Get = %v, %v; want clean miss", got, err)
+	}
+	if st := store.Stats(); st.StaleFormat != 1 || st.Evicted != 2 {
+		t.Errorf("stats after corruption = %+v, want StaleFormat=1 Evicted=2", st)
+	}
+}
+
+// failAfterWriter passes through n bytes, then fails every write.
+type failAfterWriter struct {
+	w    io.Writer
+	left int
+}
+
+func (f *failAfterWriter) Write(p []byte) (int, error) {
+	if f.left <= 0 {
+		return 0, fmt.Errorf("injected write failure")
+	}
+	if len(p) > f.left {
+		n, _ := f.w.Write(p[:f.left])
+		f.left = 0
+		return n, fmt.Errorf("injected write failure")
+	}
+	f.left -= len(p)
+	return f.w.Write(p)
+}
+
+func TestSaveBankFailureCleansUpTemp(t *testing.T) {
+	b := storeBank(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bank.bank")
+
+	// Establish a good artifact first: a failed re-save must not disturb it.
+	if err := SaveBank(b, path); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	saveWriterHook = func(w io.Writer) io.Writer { return &failAfterWriter{w: w, left: 100} }
+	defer func() { saveWriterHook = nil }()
+	if err := SaveBank(b, path); err == nil {
+		t.Fatal("SaveBank succeeded through a failing writer")
+	}
+	saveWriterHook = nil
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.Name() != "bank.bank" {
+			t.Errorf("leftover file after failed save: %s", e.Name())
+		}
+	}
+	after, err := os.ReadFile(path)
+	if err != nil || !bytes.Equal(before, after) {
+		t.Errorf("failed save disturbed the existing artifact (err=%v)", err)
+	}
+
+	// And a clean save still round-trips.
+	if err := SaveBank(b, path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBank(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// FuzzBankDecode asserts DecodeBank never panics and never returns a bank
+// that fails validation, whatever bytes arrive. The seed corpus (testdata)
+// covers a valid encoding plus every mutation class the robustness test
+// exercises.
+func FuzzBankDecode(f *testing.F) {
+	opts := tinyBuildOptions()
+	opts.NumConfigs, opts.MaxRounds = 2, 3
+	// A tiny real bank as the valid seed (fuzzing mutates from here).
+	pop := data.MustGenerate(tinySpec(), rng.New(1))
+	b, err := BuildBank(pop, opts, 3)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := EncodeBank(&buf, b); err != nil {
+		f.Fatal(err)
+	}
+	raw := buf.Bytes()
+	f.Add(raw)
+	f.Add(raw[:bankfmtHeaderLen])
+	f.Add(raw[:len(raw)/2])
+	f.Add([]byte{})
+	f.Add([]byte{0x1f, 0x8b, 0x08, 0x00}) // legacy gzip magic
+	corrupt := append([]byte(nil), raw...)
+	corrupt[9] ^= 0x40
+	f.Add(corrupt)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, err := DecodeBank(bytes.NewReader(data))
+		if err == nil {
+			if b == nil {
+				t.Fatal("nil bank without error")
+			}
+			if verr := b.Validate(); verr != nil {
+				t.Fatalf("decoded bank fails validation: %v", verr)
+			}
+		}
+	})
+}

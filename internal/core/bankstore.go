@@ -16,10 +16,14 @@ import (
 	"noisyeval/internal/data"
 )
 
-// bankKeyVersion is bumped whenever the bank encoding or the meaning of any
-// hashed field changes, invalidating all previously cached entries.
+// bankKeyVersion is bumped whenever the meaning of any hashed field changes,
+// invalidating all previously cached entries.
 // v2: BuildOptions.BatchEval joined the key (the batched engine's summation
 // order legitimately changes recorded errors).
+// Pure encoding changes do NOT bump the key: the key addresses bank content
+// (build inputs), and the on-disk format carries its own version header
+// (bankfmt.go), so a stale-format entry under a current key is detected on
+// load, evicted, and rebuilt (StoreStats.StaleFormat).
 const bankKeyVersion = "bankstore-v2"
 
 // normalizeBuildOptions applies the same defaulting BuildBank performs, so
@@ -103,25 +107,36 @@ type StoreStats struct {
 	Hits    int64 // entries served from disk
 	Misses  int64 // lookups that found no (valid) entry
 	Builds  int64 // banks built and written through GetOrBuild
-	Evicted int64 // entries removed: corrupt on load, or pruned by Prune
+	Evicted int64 // entries removed: corrupt or stale on load, or pruned
+	// StaleFormat counts evictions whose cause was a format-generation
+	// mismatch (legacy gob+gzip entry, or one written by a future build)
+	// rather than corruption. Such entries are valid artifacts in a dead
+	// encoding; they rebuild transparently and this counter is the only
+	// trace. Included in Evicted.
+	StaleFormat int64
 }
 
 // BankStore is a content-addressed on-disk bank cache. Entries are the
-// gob+gzip encoding of SaveBank, stored as <dir>/<key>.bank where key comes
-// from BankKey. Writes go through a temp file plus atomic rename, so a
-// crashed or concurrent writer can never leave a partial entry visible;
-// corrupt entries (truncation, bit rot, format drift) are detected on load,
-// evicted, and rebuilt. A nil *BankStore is valid and behaves as an always-
-// miss cache, so call sites can thread an optional store without branching.
+// bankfmt/v3 encoding of SaveBank, stored as <dir>/<key>.bank where key comes
+// from BankKey. Writes go through a temp file plus fsync plus atomic rename,
+// so a crashed or concurrent writer can never leave a partial entry visible;
+// corrupt entries (truncation, bit rot) and stale-format entries (a previous
+// encoding generation) are detected on load, evicted, and rebuilt. A nil
+// *BankStore is valid and behaves as an always-miss cache, so call sites can
+// thread an optional store without branching.
 type BankStore struct {
 	dir string
+
+	// Logf, when set, receives operational log lines (stale-format
+	// evictions). Set it right after NewBankStore, before concurrent use.
+	Logf func(format string, args ...any)
 
 	mu       sync.Mutex
 	inflight map[string]*storeCall
 
 	maxBytes atomic.Int64 // size bound enforced after each Put (0 = unlimited)
 
-	hits, misses, builds, evicted atomic.Int64
+	hits, misses, builds, evicted, staleFormat atomic.Int64
 }
 
 // storeCall deduplicates concurrent GetOrBuild calls for one key
@@ -174,11 +189,19 @@ func (s *BankStore) Get(key string) (*Bank, error) {
 	defer f.Close()
 	b, err := decodeBank(f)
 	if err != nil {
-		// Truncated write, bit rot, or encoding drift: drop the entry and
-		// treat as a miss so the caller rebuilds it.
+		// Truncated write, bit rot, or a stale encoding generation: drop the
+		// entry and treat as a miss so the caller rebuilds it. A stale
+		// format is an expected lifecycle event (the codec version moved
+		// on), so it gets its own stat and a log line instead of silence.
 		os.Remove(path)
 		s.evicted.Add(1)
 		s.misses.Add(1)
+		if IsStaleBankFormat(err) {
+			s.staleFormat.Add(1)
+			if s.Logf != nil {
+				s.Logf("bank store: evicting stale-format entry %s (will rebuild): %v", key, err)
+			}
+		}
 		return nil, nil
 	}
 	s.hits.Add(1)
@@ -189,25 +212,14 @@ func (s *BankStore) Get(key string) (*Bank, error) {
 	return b, nil
 }
 
-// Put writes the bank under key atomically (temp file in the cache dir, then
-// rename), so readers only ever observe complete entries.
+// Put writes the bank under key atomically (SaveBank's temp-file + fsync +
+// rename), so readers only ever observe complete, durable entries.
 func (s *BankStore) Put(key string, b *Bank) error {
 	if s == nil {
 		return fmt.Errorf("core: Put on nil bank store")
 	}
-	tmp, err := os.CreateTemp(s.dir, key+".tmp-*")
-	if err != nil {
-		return fmt.Errorf("core: bank store put: %w", err)
-	}
-	tmpPath := tmp.Name()
-	tmp.Close()
-	if err := SaveBank(b, tmpPath); err != nil {
-		os.Remove(tmpPath)
+	if err := SaveBank(b, s.Path(key)); err != nil {
 		return err
-	}
-	if err := os.Rename(tmpPath, s.Path(key)); err != nil {
-		os.Remove(tmpPath)
-		return fmt.Errorf("core: bank store put: %w", err)
 	}
 	if max := s.maxBytes.Load(); max > 0 {
 		// Enforce the size bound write-through; the just-written entry has
@@ -392,10 +404,11 @@ func (s *BankStore) Stats() StoreStats {
 		return StoreStats{}
 	}
 	return StoreStats{
-		Hits:    s.hits.Load(),
-		Misses:  s.misses.Load(),
-		Builds:  s.builds.Load(),
-		Evicted: s.evicted.Load(),
+		Hits:        s.hits.Load(),
+		Misses:      s.misses.Load(),
+		Builds:      s.builds.Load(),
+		Evicted:     s.evicted.Load(),
+		StaleFormat: s.staleFormat.Load(),
 	}
 }
 

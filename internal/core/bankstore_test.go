@@ -117,15 +117,9 @@ func TestBankStoreMissThenHit(t *testing.T) {
 	if got.SpecName != b.SpecName || len(got.Configs) != len(b.Configs) {
 		t.Error("round-tripped bank differs")
 	}
-	for pi := range b.Errs {
-		for ci := range b.Errs[pi] {
-			for ri := range b.Errs[pi][ci] {
-				for k := range b.Errs[pi][ci][ri] {
-					if got.Errs[pi][ci][ri][k] != b.Errs[pi][ci][ri][k] {
-						t.Fatal("round-tripped errors differ")
-					}
-				}
-			}
+	for i := range b.Errs.Data {
+		if got.Errs.Data[i] != b.Errs.Data[i] {
+			t.Fatal("round-tripped errors differ")
 		}
 	}
 	st := store.Stats()

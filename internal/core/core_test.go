@@ -88,15 +88,9 @@ func TestBuildBankDeterministicAcrossParallelism(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for pi := range b1.Errs {
-		for ci := range b1.Errs[pi] {
-			for ri := range b1.Errs[pi][ci] {
-				for k := range b1.Errs[pi][ci][ri] {
-					if b1.Errs[pi][ci][ri][k] != b2.Errs[pi][ci][ri][k] {
-						t.Fatal("bank depends on worker count")
-					}
-				}
-			}
+	for i := range b1.Errs.Data {
+		if b1.Errs.Data[i] != b2.Errs.Data[i] {
+			t.Fatal("bank depends on worker count")
 		}
 	}
 }

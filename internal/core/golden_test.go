@@ -50,13 +50,10 @@ func hashBankContent(b *Bank) string {
 		wi(r)
 	}
 	hashFloats(h, b.Partitions)
-	for pi := range b.Errs {
-		for ci := range b.Errs[pi] {
-			for ri := range b.Errs[pi][ci] {
-				hashFloats(h, b.Errs[pi][ci][ri])
-			}
-		}
-	}
+	// The arena is row-major [partition][config][checkpoint][client] — the
+	// exact order the pre-arena nested loops hashed — so the golden
+	// constants recorded against [][][][]float64 banks still apply.
+	hashFloats(h, b.Errs.Data)
 	for _, d := range b.Diverged {
 		if d {
 			h.Write([]byte{1})

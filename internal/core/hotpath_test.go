@@ -1,0 +1,120 @@
+package core
+
+import (
+	"fmt"
+	"hash/fnv"
+	"testing"
+
+	"noisyeval/internal/eval"
+	"noisyeval/internal/hpo"
+	"noisyeval/internal/rng"
+)
+
+// TestEvalSeedMatchesLegacyDerivation pins the oracle's inlined FNV-1a
+// evaluation-stream derivation to the historical fmt.Fprintf construction:
+// same bytes in, same seed out, or every recorded experiment resamples
+// different cohorts.
+func TestEvalSeedMatchesLegacyDerivation(t *testing.T) {
+	b, _ := tinyBank(t)
+	o, err := NewBankOracle(b, 0, eval.Scheme{Count: 3, Weighted: true}, 12345)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, trial := range []int{0, 7, 341} {
+		ot := o.WithTrial(trial)
+		for _, evalID := range []string{"", "x", "round-17", "rung-2|cfg-55"} {
+			h := fnv.New64a()
+			fmt.Fprintf(h, "%d|%s|%s", ot.seed, ot.trialSalt, evalID)
+			if got, want := ot.evalSeed(evalID), h.Sum64(); got != want {
+				t.Errorf("evalSeed(trial=%d, %q) = %d, want legacy %d", trial, evalID, got, want)
+			}
+		}
+	}
+}
+
+// TestOracleScratchPathMatchesAllocatingPath verifies the per-trial scratch
+// fast path releases byte-identical evaluations to the allocating base path
+// across every noise family, so the perf refactor cannot perturb results.
+func TestOracleScratchPathMatchesAllocatingPath(t *testing.T) {
+	b, _ := tinyBank(t)
+	schemes := map[string]eval.Scheme{
+		"full":     eval.Noiseless(),
+		"uniform":  {Count: 3, Weighted: true},
+		"one":      {Count: 1, Weighted: true},
+		"biased":   {Count: 4, Weighted: true, Bias: 2},
+		"unweight": {Count: 5},
+	}
+	for name, scheme := range schemes {
+		t.Run(name, func(t *testing.T) {
+			o, err := NewBankOracle(b, 0, scheme, 9)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fast := o.WithTrial(2)
+			slow := o.WithTrial(2)
+			slow.scratch = nil // force the historical allocating path
+			for i, cfg := range b.Configs[:4] {
+				for _, r := range []int{3, 27} {
+					id := fmt.Sprintf("e-%d-%d", i, r)
+					if f, s := fast.Evaluate(cfg, r, id), slow.Evaluate(cfg, r, id); f != s {
+						t.Fatalf("scratch path diverged: %v vs %v (cfg %d, rounds %d)", f, s, i, r)
+					}
+					if f, s := fast.TrueError(cfg, r), slow.TrueError(cfg, r); f != s {
+						t.Fatalf("TrueError diverged: %v vs %v", f, s)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestOracleTrialEvaluateAllocationFree pins the RunTrials hot path: with a
+// warm per-trial scratch, a bank evaluation performs zero allocations.
+func TestOracleTrialEvaluateAllocationFree(t *testing.T) {
+	b, _ := tinyBank(t)
+	for name, scheme := range map[string]eval.Scheme{
+		"uniform": {Count: 3, Weighted: true},
+		"biased":  {Count: 3, Weighted: true, Bias: 1.5},
+		"full":    eval.Noiseless(),
+	} {
+		t.Run(name, func(t *testing.T) {
+			o, err := NewBankOracle(b, 0, scheme, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			trial := o.WithTrial(1)
+			cfg := b.Configs[2]
+			trial.Evaluate(cfg, 27, "warm") // warm the scratch buffers
+			allocs := testing.AllocsPerRun(100, func() {
+				trial.Evaluate(cfg, 27, "warm")
+			})
+			if allocs != 0 {
+				t.Errorf("warm trial evaluation allocates %.1f objects/op, want 0", allocs)
+			}
+		})
+	}
+}
+
+// TestRunTrialsUnchangedByScratchReuse re-pins trial-level determinism from
+// the tuner's perspective: per-trial scratch must not leak state between
+// evaluations or trials (each trial owns its buffers, results depend only on
+// seeds).
+func TestRunTrialsUnchangedByScratchReuse(t *testing.T) {
+	b, _ := tinyBank(t)
+	o, err := NewBankOracle(b, 0, eval.Scheme{Count: 2, Weighted: true, Bias: 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tn := Tuner{
+		Method:   hpo.SuccessiveHalving{N: 6, R0: 3},
+		Space:    hpo.DefaultSpace(),
+		Settings: hpo.Settings{Budget: hpo.Budget{TotalRounds: 6 * 27, MaxPerConfig: 27, K: 6}}.Normalize(),
+	}
+	a := FinalErrors(tn.RunTrials(o, 10, rng.New(3).Split("scratch")))
+	c := FinalErrors(tn.RunTrials(o, 10, rng.New(3).Split("scratch")))
+	for i := range a {
+		if a[i] != c[i] {
+			t.Fatalf("trial %d differs across identical RunTrials: %v vs %v", i, a[i], c[i])
+		}
+	}
+}

@@ -1,38 +1,72 @@
 package core
 
 import (
-	"compress/gzip"
-	"encoding/gob"
+	"bufio"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
 )
 
-// SaveBank writes the bank to path as gzipped gob. Banks are the expensive
-// artifact of the study (cmd/bank builds them; cmd/figures reuses them).
+// saveWriterHook, when non-nil, wraps the temp-file writer inside SaveBank.
+// It exists so tests can inject mid-encode write failures and assert the
+// cleanup contract (no temp file left behind, destination untouched). Always
+// nil outside tests.
+var saveWriterHook func(io.Writer) io.Writer
+
+// SaveBank writes the bank to path in bankfmt/v3 (see bankfmt.go). Banks are
+// the expensive artifact of the study (cmd/bank builds them; cmd/figures
+// reuses them), so the write is crash-safe: encode into a temp file in the
+// destination directory, fsync, then atomically rename. A failed encode
+// removes the temp file and leaves any existing file at path untouched.
 func SaveBank(b *Bank, path string) error {
 	if err := b.Validate(); err != nil {
 		return fmt.Errorf("core: refusing to save invalid bank: %w", err)
 	}
-	if dir := filepath.Dir(path); dir != "." {
+	dir := filepath.Dir(path)
+	if dir != "." {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return fmt.Errorf("core: save bank: %w", err)
 		}
 	}
-	f, err := os.Create(path)
+	// The temp name must not match the BankStore's *.bank entry glob, so a
+	// half-written artifact is never visible as a cache entry.
+	f, err := os.CreateTemp(dir, ".banktmp-*")
 	if err != nil {
 		return fmt.Errorf("core: save bank: %w", err)
 	}
-	defer f.Close()
-	zw := gzip.NewWriter(f)
-	if err := gob.NewEncoder(zw).Encode(b); err != nil {
-		return fmt.Errorf("core: encode bank: %w", err)
+	tmpPath := f.Name()
+	fail := func(err error) error {
+		f.Close()
+		os.Remove(tmpPath)
+		return err
 	}
-	if err := zw.Close(); err != nil {
-		return fmt.Errorf("core: flush bank: %w", err)
+	var w io.Writer = f
+	if saveWriterHook != nil {
+		w = saveWriterHook(w)
 	}
-	return f.Close()
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if err := EncodeBank(bw, b); err != nil {
+		return fail(err)
+	}
+	if err := bw.Flush(); err != nil {
+		return fail(fmt.Errorf("core: save bank: %w", err))
+	}
+	// fsync before rename: the rename must never publish an entry whose
+	// bytes could still vanish in a crash (the BankStore would see a
+	// truncated artifact and silently retrain).
+	if err := f.Sync(); err != nil {
+		return fail(fmt.Errorf("core: save bank: %w", err))
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmpPath)
+		return fmt.Errorf("core: save bank: %w", err)
+	}
+	if err := os.Rename(tmpPath, path); err != nil {
+		os.Remove(tmpPath)
+		return fmt.Errorf("core: save bank: %w", err)
+	}
+	return nil
 }
 
 // LoadBank reads a bank written by SaveBank and validates it.
@@ -42,30 +76,27 @@ func LoadBank(path string) (*Bank, error) {
 		return nil, fmt.Errorf("core: load bank: %w", err)
 	}
 	defer f.Close()
-	return decodeBank(f)
+	return decodeBank(bufio.NewReaderSize(f, 1<<20))
 }
 
-// DecodeBank reads one SaveBank encoding from r and validates it (the
-// internal/dist peer tier decodes banks straight off the wire with it).
+// DecodeBank reads one EncodeBank/SaveBank encoding from r and validates it
+// (the internal/dist peer tier decodes banks straight off the wire with it).
 func DecodeBank(r io.Reader) (*Bank, error) { return decodeBank(r) }
 
-// decodeBank reads one SaveBank encoding from r and validates it. A non-nil
-// error means the content itself is bad (truncation, bit rot, format drift)
-// — the BankStore uses this distinction to evict only genuinely corrupt
-// entries, never on transient open failures.
+// decodeBank reads one bank encoding from r and validates it. A non-nil
+// error means the content itself is bad (truncation, bit rot, checksum
+// mismatch) or in a stale format generation (legacy gob+gzip, future
+// version — see IsStaleBankFormat). The BankStore uses this distinction to
+// evict corrupt or stale entries and rebuild, never to surface errors for
+// transient open failures.
 func decodeBank(r io.Reader) (*Bank, error) {
-	zr, err := gzip.NewReader(r)
+	b, err := decodeBankBinary(r)
 	if err != nil {
-		return nil, fmt.Errorf("core: load bank: %w", err)
-	}
-	defer zr.Close()
-	var b Bank
-	if err := gob.NewDecoder(zr).Decode(&b); err != nil {
-		return nil, fmt.Errorf("core: decode bank: %w", err)
+		return nil, err
 	}
 	if err := b.Validate(); err != nil {
 		return nil, fmt.Errorf("core: loaded bank invalid: %w", err)
 	}
 	b.buildIndex()
-	return &b, nil
+	return b, nil
 }

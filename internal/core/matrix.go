@@ -1,0 +1,76 @@
+package core
+
+import "fmt"
+
+// ErrMatrix is the dense error tensor at the heart of the bank: one
+// contiguous []float64 arena indexed as
+//
+//	[partition][config][checkpoint][client]   (row-major)
+//
+// replacing the quadruply-nested [][][][]float64 the bank originally carried.
+// Contiguity is what makes every warm path cheap: the codec writes and reads
+// the whole tensor as one little-endian byte run straight into the arena,
+// shard reassembly is one bulk copy per (partition, shard) block, and oracle
+// reads hand out zero-allocation row views over memory the prefetcher likes.
+//
+// The exported fields exist for encoding; treat a populated matrix as
+// immutable and go through Row/At for access.
+type ErrMatrix struct {
+	// Parts, Configs, Checkpoints, Clients are the tensor dimensions.
+	Parts, Configs, Checkpoints, Clients int
+	// Data is the arena, len = Parts*Configs*Checkpoints*Clients.
+	Data []float64
+}
+
+// NewErrMatrix allocates a zeroed dense matrix with the given dimensions.
+func NewErrMatrix(parts, configs, checkpoints, clients int) ErrMatrix {
+	return ErrMatrix{
+		Parts: parts, Configs: configs, Checkpoints: checkpoints, Clients: clients,
+		Data: make([]float64, parts*configs*checkpoints*clients),
+	}
+}
+
+// Row returns the per-client error vector of (partition pi, config ci,
+// checkpoint ri) as a view into the arena. The slice is owned by the matrix;
+// callers must not modify it.
+func (m *ErrMatrix) Row(pi, ci, ri int) []float64 {
+	off := ((pi*m.Configs+ci)*m.Checkpoints + ri) * m.Clients
+	return m.Data[off : off+m.Clients : off+m.Clients]
+}
+
+// At returns one element; the bounds checks are the slice expression's.
+func (m *ErrMatrix) At(pi, ci, ri, k int) float64 { return m.Row(pi, ci, ri)[k] }
+
+// ConfigBlock returns the contiguous sub-arena covering configs [lo, hi) of
+// partition pi — every checkpoint and client of those configs. Shard
+// reassembly copies blocks, never rows.
+func (m *ErrMatrix) ConfigBlock(pi, lo, hi int) []float64 {
+	stride := m.Checkpoints * m.Clients
+	off := (pi*m.Configs + lo) * stride
+	end := (pi*m.Configs + hi) * stride
+	return m.Data[off:end:end]
+}
+
+// Validate checks dimensional integrity: non-negative dims and an arena of
+// exactly the implied length.
+func (m *ErrMatrix) Validate() error {
+	if m.Parts < 0 || m.Configs < 0 || m.Checkpoints < 0 || m.Clients < 0 {
+		return fmt.Errorf("core: err matrix has negative dimension %dx%dx%dx%d",
+			m.Parts, m.Configs, m.Checkpoints, m.Clients)
+	}
+	if want := m.Parts * m.Configs * m.Checkpoints * m.Clients; len(m.Data) != want {
+		return fmt.Errorf("core: err matrix arena has %d floats, want %d (%dx%dx%dx%d)",
+			len(m.Data), want, m.Parts, m.Configs, m.Checkpoints, m.Clients)
+	}
+	return nil
+}
+
+// CheckShape verifies the matrix has exactly the given dimensions (and a
+// consistent arena).
+func (m *ErrMatrix) CheckShape(parts, configs, checkpoints, clients int) error {
+	if m.Parts != parts || m.Configs != configs || m.Checkpoints != checkpoints || m.Clients != clients {
+		return fmt.Errorf("core: err matrix is %dx%dx%dx%d, want %dx%dx%dx%d",
+			m.Parts, m.Configs, m.Checkpoints, m.Clients, parts, configs, checkpoints, clients)
+	}
+	return m.Validate()
+}

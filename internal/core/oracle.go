@@ -13,16 +13,32 @@ import (
 )
 
 // BankOracle serves tuning methods from a pre-trained Bank: evaluations are
-// real subsamples/reweightings of recorded per-client errors, so hundreds of
-// bootstrap trials cost nothing beyond the one-time bank build. It is safe
-// for concurrent use (the bank is read-only).
+// real subsamples/reweightings of recorded per-client errors — contiguous
+// arena rows, no pointer chasing — so hundreds of bootstrap trials cost
+// nothing beyond the one-time bank build. The base oracle is safe for
+// concurrent use (the bank is read-only, and it owns no scratch); each
+// WithTrial copy additionally carries private scratch buffers reused across
+// that trial's evaluations, making the RunTrials hot path allocation-light.
 type BankOracle struct {
 	bank      *Bank
 	partition float64
+	pi        int // cached PartitionIndex(partition)
 	evaluator *eval.Evaluator
 	full      *eval.Evaluator // full-pool weighted evaluator for TrueError
 	seed      uint64
 	trialSalt string
+
+	// scratch is per-trial state: nil on the shared base oracle (Evaluate
+	// then allocates per call, exactly as before), owned exclusively by one
+	// goroutine on a WithTrial copy.
+	scratch *oracleScratch
+}
+
+// oracleScratch is the reusable per-trial state: the evaluator's sampling
+// buffers and one reseedable RNG, so an evaluation allocates nothing.
+type oracleScratch struct {
+	eval eval.Scratch
+	g    *rng.RNG
 }
 
 // NewBankOracle builds an oracle over the bank's given partition with the
@@ -48,41 +64,43 @@ func NewBankOracle(b *Bank, partition float64, scheme eval.Scheme, seed uint64) 
 	if err != nil {
 		return nil, err
 	}
-	return &BankOracle{bank: b, partition: partition, evaluator: ev, full: full, seed: seed}, nil
+	return &BankOracle{bank: b, partition: partition, pi: pi, evaluator: ev, full: full, seed: seed}, nil
 }
 
 // WithTrial returns a copy whose evaluation subsamples are decorrelated from
 // other trials (bootstrap trials must observe independent client subsets).
+// The copy carries its own scratch buffers, so one trial's evaluations reuse
+// memory; use each copy from a single goroutine, as RunTrials does.
 func (o *BankOracle) WithTrial(trial int) *BankOracle {
 	c := *o
 	c.trialSalt = fmt.Sprintf("trial-%d", trial)
+	c.scratch = &oracleScratch{g: rng.New(0)}
 	return &c
+}
+
+// row returns the bank's error row for (cfg, rounds) under the oracle's
+// partition — a view straight into the arena.
+func (o *BankOracle) row(cfg fl.HParams, rounds int) []float64 {
+	ci, err := o.bank.ConfigIndex(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return o.bank.Errs.Row(o.pi, ci, o.bank.CheckpointIndex(rounds))
 }
 
 // Evaluate implements hpo.Oracle.
 func (o *BankOracle) Evaluate(cfg fl.HParams, rounds int, evalID string) float64 {
-	ci, err := o.bank.ConfigIndex(cfg)
-	if err != nil {
-		panic(err)
+	errs := o.row(cfg, rounds)
+	if s := o.scratch; s != nil {
+		s.g.Reseed(o.evalSeed(evalID))
+		return o.evaluator.EvaluateScratch(errs, s.g, &s.eval).Observed
 	}
-	errs, err := o.bank.ClientErrors(o.partition, ci, rounds)
-	if err != nil {
-		panic(err)
-	}
-	return o.evaluator.Evaluate(errs, o.evalRNG(evalID)).Observed
+	return o.evaluator.Evaluate(errs, rng.New(o.evalSeed(evalID))).Observed
 }
 
 // TrueError implements hpo.Oracle: the full weighted validation error.
 func (o *BankOracle) TrueError(cfg fl.HParams, rounds int) float64 {
-	ci, err := o.bank.ConfigIndex(cfg)
-	if err != nil {
-		panic(err)
-	}
-	errs, err := o.bank.ClientErrors(o.partition, ci, rounds)
-	if err != nil {
-		panic(err)
-	}
-	return o.full.FullError(errs)
+	return o.full.FullError(o.row(cfg, rounds))
 }
 
 // SampleSize implements hpo.Oracle.
@@ -97,14 +115,18 @@ func (o *BankOracle) MaxRounds() int { return o.bank.MaxRounds() }
 // Bank returns the underlying bank.
 func (o *BankOracle) Bank() *Bank { return o.bank }
 
-// evalRNG derives the evaluation stream for an evaluation round: same
+// evalSeed derives the evaluation stream seed for an evaluation round: same
 // (seed, trial, evalID) -> same client cohort, so all configurations of a
 // rung share a cohort (Figure 2), while distinct rounds/trials draw
-// independent cohorts.
-func (o *BankOracle) evalRNG(evalID string) *rng.RNG {
-	h := fnv.New64a()
-	fmt.Fprintf(h, "%d|%s|%s", o.seed, o.trialSalt, evalID)
-	return rng.New(h.Sum64())
+// independent cohorts. The hash is FNV-1a (rng.FNV64a, the package's one
+// canonical implementation) over the exact byte sequence
+// fmt.Fprintf(h, "%d|%s|%s", seed, trialSalt, evalID) historically produced
+// — allocation-free — pinned by TestEvalSeedMatchesLegacyDerivation.
+func (o *BankOracle) evalSeed(evalID string) uint64 {
+	return rng.NewFNV64a().
+		Uint64Decimal(o.seed).Byte('|').
+		String(o.trialSalt).Byte('|').
+		String(evalID).Sum()
 }
 
 // LiveOracle trains configurations on demand with a real federated trainer,

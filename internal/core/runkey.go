@@ -11,7 +11,9 @@ import (
 
 // runKeyVersion is bumped whenever the run-result encoding or the meaning of
 // any hashed field changes, invalidating previously deduplicated runs.
-const runKeyVersion = "runkey-v1"
+// v2: the bank's in-memory shape moved to the dense ErrMatrix arena, which
+// changes BankFingerprint's gob image for identical recorded content.
+const runKeyVersion = "runkey-v2"
 
 // RunKey returns the content address of one tuning run: a hex SHA-256 over
 // the bank's content address plus everything else that determines the run's

@@ -86,15 +86,16 @@ func NewBuildPlan(pop *data.Population, opts BuildOptions, seed uint64) (*BuildP
 func (p *BuildPlan) NumConfigs() int { return len(p.configs) }
 
 // BankShard holds the training output for one contiguous config index range
-// [Lo, Hi) of a bank build: per-partition, per-config (shard-local index),
-// per-checkpoint client error vectors plus divergence flags. Shards are the
-// unit of work the dist coordinator leases to workers.
+// [Lo, Hi) of a bank build: a dense error tensor over the shard's configs
+// (shard-local index) plus divergence flags. Shards are the unit of work the
+// dist coordinator leases to workers; because the tensor is arena-backed,
+// assembly into the final bank is one bulk copy per partition.
 type BankShard struct {
 	// Lo and Hi bound the config index range [Lo, Hi).
 	Lo, Hi int
-	// Errs[pi][ci-Lo][ri] is the per-client error vector of config ci at
-	// checkpoint ri under partition pi.
-	Errs [][][][]float64
+	// Errs.Row(pi, ci-Lo, ri) is the per-client error vector of config ci
+	// at checkpoint ri under partition pi.
+	Errs ErrMatrix
 	// Diverged[ci-Lo] reports whether config ci's training hit NaN.
 	Diverged []bool
 }
@@ -108,24 +109,8 @@ func (sh *BankShard) Validate(p *BuildPlan) error {
 	if len(sh.Diverged) != n {
 		return fmt.Errorf("core: shard diverged length %d, want %d", len(sh.Diverged), n)
 	}
-	if len(sh.Errs) != len(p.parts) {
-		return fmt.Errorf("core: shard has %d partitions, want %d", len(sh.Errs), len(p.parts))
-	}
-	for pi := range sh.Errs {
-		if len(sh.Errs[pi]) != n {
-			return fmt.Errorf("core: shard partition %d has %d configs, want %d", pi, len(sh.Errs[pi]), n)
-		}
-		for ci := range sh.Errs[pi] {
-			if len(sh.Errs[pi][ci]) != len(p.rounds) {
-				return fmt.Errorf("core: shard config %d has %d checkpoints, want %d", sh.Lo+ci, len(sh.Errs[pi][ci]), len(p.rounds))
-			}
-			for ri := range sh.Errs[pi][ci] {
-				if len(sh.Errs[pi][ci][ri]) != len(p.counts[pi]) {
-					return fmt.Errorf("core: shard errs[%d][%d][%d] has %d clients, want %d",
-						pi, sh.Lo+ci, ri, len(sh.Errs[pi][ci][ri]), len(p.counts[pi]))
-				}
-			}
-		}
+	if err := sh.Errs.CheckShape(len(p.parts), n, len(p.rounds), len(p.counts[0])); err != nil {
+		return fmt.Errorf("core: shard [%d, %d): %w", sh.Lo, sh.Hi, err)
 	}
 	return nil
 }
@@ -138,13 +123,10 @@ func (p *BuildPlan) TrainRange(lo, hi, workers int) (*BankShard, error) {
 		return nil, fmt.Errorf("core: train range [%d, %d) invalid for %d configs", lo, hi, len(p.configs))
 	}
 	n := hi - lo
-	sh := &BankShard{Lo: lo, Hi: hi, Diverged: make([]bool, n)}
-	sh.Errs = make([][][][]float64, len(p.parts))
-	for pi := range p.parts {
-		sh.Errs[pi] = make([][][]float64, n)
-		for ci := 0; ci < n; ci++ {
-			sh.Errs[pi][ci] = make([][]float64, len(p.rounds))
-		}
+	sh := &BankShard{
+		Lo: lo, Hi: hi,
+		Errs:     NewErrMatrix(len(p.parts), n, len(p.rounds), len(p.counts[0])),
+		Diverged: make([]bool, n),
 	}
 
 	if workers <= 0 {
@@ -170,7 +152,7 @@ func (p *BuildPlan) TrainRange(lo, hi, workers int) (*BankShard, error) {
 			for ri, r := range p.rounds {
 				tr.TrainTo(r)
 				for pi := range p.parts {
-					sh.Errs[pi][ci-lo][ri] = tr.EvalClients(p.pools[pi])
+					copy(sh.Errs.Row(pi, ci-lo, ri), tr.EvalClients(p.pools[pi]))
 				}
 			}
 			sh.Diverged[ci-lo] = tr.Diverged()
@@ -204,7 +186,9 @@ func ShardRanges(n, size int) [][2]int {
 // validated bank. Every config index must be covered by exactly one shard;
 // gaps, overlaps, and shape mismatches are errors. Because shard content
 // depends only on (pop, opts, seed, range), the assembled bank is
-// byte-identical to a single-process BuildBank of the same inputs.
+// byte-identical to a single-process BuildBank of the same inputs. With both
+// sides arena-backed, reassembly is one contiguous block copy per
+// (partition, shard) — no per-row pointer stitching.
 func AssembleBank(p *BuildPlan, shards []*BankShard) (*Bank, error) {
 	b := &Bank{
 		SpecName:      p.pop.Spec.Name,
@@ -213,11 +197,8 @@ func AssembleBank(p *BuildPlan, shards []*BankShard) (*Bank, error) {
 		Rounds:        p.rounds,
 		Partitions:    p.parts,
 		ExampleCounts: p.counts,
+		Errs:          NewErrMatrix(len(p.parts), len(p.configs), len(p.rounds), len(p.counts[0])),
 		Diverged:      make([]bool, len(p.configs)),
-	}
-	b.Errs = make([][][][]float64, len(p.parts))
-	for pi := range p.parts {
-		b.Errs[pi] = make([][][]float64, len(p.configs))
 	}
 
 	sorted := append([]*BankShard(nil), shards...)
@@ -233,8 +214,8 @@ func AssembleBank(p *BuildPlan, shards []*BankShard) (*Bank, error) {
 		if err := sh.Validate(p); err != nil {
 			return nil, fmt.Errorf("core: assemble: %w", err)
 		}
-		for pi := range b.Errs {
-			copy(b.Errs[pi][sh.Lo:sh.Hi], sh.Errs[pi])
+		for pi := range p.parts {
+			copy(b.Errs.ConfigBlock(pi, sh.Lo, sh.Hi), sh.Errs.ConfigBlock(pi, 0, sh.Hi-sh.Lo))
 		}
 		copy(b.Diverged[sh.Lo:sh.Hi], sh.Diverged)
 		next = sh.Hi

@@ -24,7 +24,7 @@ func shardTestInputs(t testing.TB) (*data.Population, BuildOptions, uint64) {
 // assembled from range shards — trained independently, in scrambled order,
 // with uneven split points — must be byte-identical to a single-process
 // BuildBank of the same (population, options, seed): same BankKey inputs,
-// same content hash, and the same gob+gzip encoding (the acceptance
+// same content hash, and the same bankfmt/v3 encoding (the acceptance
 // criterion of the cluster protocol).
 func TestShardedBuildByteIdentical(t *testing.T) {
 	pop, opts, seed := shardTestInputs(t)
@@ -80,7 +80,7 @@ func TestShardedBuildByteIdentical(t *testing.T) {
 	}
 	lb, ab := encode("local.bank", local), encode("assembled.bank", assembled)
 	if !bytes.Equal(lb, ab) {
-		t.Fatalf("gob+gzip encodings differ: local %x, assembled %x",
+		t.Fatalf("bankfmt encodings differ: local %x, assembled %x",
 			sha256.Sum256(lb), sha256.Sum256(ab))
 	}
 }
@@ -102,15 +102,9 @@ func TestTrainRangeDeterministicPerRange(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for pi := range a.Errs {
-		for ci := range a.Errs[pi] {
-			for ri := range a.Errs[pi][ci] {
-				for k := range a.Errs[pi][ci][ri] {
-					if a.Errs[pi][ci][ri][k] != b.Errs[pi][ci][ri][k] {
-						t.Fatalf("errs[%d][%d][%d][%d] differ across retrains", pi, ci, ri, k)
-					}
-				}
-			}
+	for i := range a.Errs.Data {
+		if a.Errs.Data[i] != b.Errs.Data[i] {
+			t.Fatalf("arena float %d differs across retrains", i)
 		}
 	}
 }
@@ -153,9 +147,9 @@ func TestAssembleBankRejectsBadCoverage(t *testing.T) {
 	}
 
 	// Shape drift: a shard claiming the right range with truncated rounds.
-	bad := &BankShard{Lo: 4, Hi: 5, Diverged: []bool{false}, Errs: make([][][][]float64, len(lo.Errs))}
-	for pi := range bad.Errs {
-		bad.Errs[pi] = [][][]float64{{}}
+	bad := &BankShard{
+		Lo: 4, Hi: 5, Diverged: []bool{false},
+		Errs: NewErrMatrix(lo.Errs.Parts, 1, 0, lo.Errs.Clients),
 	}
 	if _, err := AssembleBank(plan, []*BankShard{lo, mid, bad}); err == nil {
 		t.Error("AssembleBank accepted a malformed shard")

@@ -693,8 +693,10 @@ func safeKey(key string) bool {
 	return true
 }
 
-// handleBank serves a cached bank's raw bytes (already gzipped gob on disk)
-// so warm peers can seed cold ones — the read-through tier of dist.Builder.
+// handleBank serves a cached bank's raw bytes — the bankfmt/v3 artifact
+// exactly as the store persisted it, streamed without decoding or
+// re-encoding — so warm peers can seed cold ones (the read-through tier of
+// dist.Builder).
 func (c *Coordinator) handleBank(w http.ResponseWriter, r *http.Request) {
 	key := r.PathValue("key")
 	if !safeKey(key) {

@@ -23,8 +23,9 @@
 //     through the interface, so cmd/figures and noisyevald run in cluster
 //     mode unchanged.
 //
-// Protocol (JSON envelopes; binary payloads are gzipped gob, the same
-// encoding core.SaveBank uses):
+// Protocol (JSON envelopes; shard and bank payloads use the bankfmt/v3
+// binary framing from core — fixed header, bulk little-endian float section
+// decoded straight into a contiguous arena; populations remain gzipped gob):
 //
 //	POST /v1/work/lease              {"worker":"w1"} → 200 {job} | 204 no work
 //	POST /v1/work/complete?job=&worker=   shard bytes → 200 {"status":"ok"|"duplicate"|"stale"}
@@ -105,14 +106,15 @@ func encodeGz(v any) ([]byte, error) {
 // rungs × 10k clients × 8 bytes) decompresses to tens of MB; the caps leave
 // two orders of magnitude of headroom while keeping a hostile payload — the
 // complete endpoint is reachable by anything that can reach the daemon —
-// from inflating into an unbounded allocation (gzip bombs compress ~1000:1,
-// so the decompressed cap is the one that matters).
+// from inflating into an unbounded allocation. The bankfmt framing declares
+// its arena size in the header, so the decoded cap is enforced before a
+// single float is read.
 const (
 	// MaxShardBodyBytes bounds the compressed shard upload a coordinator
 	// reads from one POST /v1/work/complete.
 	MaxShardBodyBytes = 256 << 20
-	// maxShardDecodedBytes bounds the decompressed stream DecodeShard gob-
-	// decodes.
+	// maxShardDecodedBytes bounds the error-arena allocation one decoded
+	// shard may demand.
 	maxShardDecodedBytes = 1 << 30
 )
 
@@ -135,18 +137,27 @@ func decodeGz(r io.Reader, v any, limit int64) error {
 	return nil
 }
 
-// EncodeShard renders a shard for the wire (gzipped gob).
-func EncodeShard(sh *core.BankShard) ([]byte, error) { return encodeGz(sh) }
-
-// DecodeShard reads one EncodeShard payload. The decompressed stream is
-// bounded: a payload inflating past maxShardDecodedBytes fails to decode
-// instead of exhausting memory.
-func DecodeShard(r io.Reader) (*core.BankShard, error) {
-	var sh core.BankShard
-	if err := decodeGz(r, &sh, maxShardDecodedBytes); err != nil {
-		return nil, err
+// EncodeShard renders a shard for the wire: bankfmt/v3 shard framing, whose
+// bulk section is the shard's contiguous error arena (written in one run,
+// gzip-framed). Workers upload exactly these bytes.
+func EncodeShard(sh *core.BankShard) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := core.EncodeShard(&buf, sh); err != nil {
+		return nil, fmt.Errorf("dist: encode shard: %w", err)
 	}
-	return &sh, nil
+	return buf.Bytes(), nil
+}
+
+// DecodeShard reads one EncodeShard payload straight into a fresh arena the
+// coordinator's reassembly block-copies from. The arena allocation is
+// bounded by the header's declared size: a payload claiming more than
+// maxShardDecodedBytes fails to decode instead of exhausting memory.
+func DecodeShard(r io.Reader) (*core.BankShard, error) {
+	sh, err := core.DecodeShard(r, maxShardDecodedBytes)
+	if err != nil {
+		return nil, fmt.Errorf("dist: decode shard: %w", err)
+	}
+	return sh, nil
 }
 
 // EncodePopulation renders a population for the wire (gzipped gob).

@@ -253,9 +253,16 @@ func TestWireRoundTrips(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if back.Lo != sh.Lo || back.Hi != sh.Hi || len(back.Errs) != len(sh.Errs) {
-		t.Errorf("shard round trip drifted: %d-%d/%d vs %d-%d/%d",
-			back.Lo, back.Hi, len(back.Errs), sh.Lo, sh.Hi, len(sh.Errs))
+	if back.Lo != sh.Lo || back.Hi != sh.Hi {
+		t.Errorf("shard round trip drifted: %d-%d vs %d-%d", back.Lo, back.Hi, sh.Lo, sh.Hi)
+	}
+	if err := back.Errs.CheckShape(sh.Errs.Parts, sh.Errs.Configs, sh.Errs.Checkpoints, sh.Errs.Clients); err != nil {
+		t.Errorf("shard round trip drifted: %v", err)
+	}
+	for i := range sh.Errs.Data {
+		if back.Errs.Data[i] != sh.Errs.Data[i] {
+			t.Fatalf("shard arena float %d changed in round trip", i)
+		}
 	}
 
 	praw, err := EncodePopulation(pop)

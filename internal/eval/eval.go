@@ -165,18 +165,42 @@ type Result struct {
 	Observed float64
 	// Sampled is the subsample aggregate before DP noise.
 	Sampled float64
-	// Subset holds the sampled client indices.
+	// Subset holds the sampled client indices. When the evaluation ran
+	// through EvaluateScratch, it aliases the scratch's buffers and is only
+	// valid until the scratch's next use.
 	Subset []int
+}
+
+// Scratch holds the reusable buffers of one evaluation stream: repeated
+// EvaluateScratch calls through the same scratch allocate nothing. A scratch
+// belongs to one goroutine at a time (the bank oracle gives each bootstrap
+// trial its own). The zero value is ready to use; buffers grow on first use
+// and are reused afterwards.
+type Scratch struct {
+	idx  []int     // subset sample buffer (len >= pool size)
+	bias []float64 // per-client bias weights (biased sampling only)
+	keys []float64 // Efraimidis-Spirakis key buffer (biased sampling only)
 }
 
 // Evaluate produces one noisy evaluation of the per-client error vector
 // errs. The caller provides the RNG stream; pass distinct streams for
 // distinct evaluation calls to model independent evaluation rounds.
 func (e *Evaluator) Evaluate(errs []float64, g *rng.RNG) Result {
+	return e.EvaluateScratch(errs, g, nil)
+}
+
+// EvaluateScratch is Evaluate with caller-owned scratch buffers (nil scratch
+// allocates per call, exactly like Evaluate). Randomness consumption and the
+// released values are identical to Evaluate; only the allocation profile
+// differs, so the two forms are interchangeable without perturbing
+// reproducibility. This is the hot-path form RunTrials drives: hundreds of
+// bootstrap trials evaluating thousands of contiguous bank rows with zero
+// steady-state allocations.
+func (e *Evaluator) EvaluateScratch(errs []float64, g *rng.RNG, s *Scratch) Result {
 	if len(errs) != len(e.weights) {
 		panic(fmt.Sprintf("eval: error vector length %d, want %d clients", len(errs), len(e.weights)))
 	}
-	subset := e.sampleSubset(errs, g)
+	subset := e.sampleSubset(errs, g, s)
 	sampled := fl.WeightedError(errs, e.weights, subset)
 	observed := sampled
 	if e.scheme.DP.Private() {
@@ -226,21 +250,34 @@ func WorstClientError(errs []float64) float64 { return TailError(errs, 1) }
 // sampleSubset draws |S| clients: uniformly when Bias == 0, otherwise with
 // probability proportional to (accuracy + δ)^b — the paper's model of
 // systems heterogeneity where well-performing (fast, well-connected) devices
-// participate more often.
-func (e *Evaluator) sampleSubset(errs []float64, g *rng.RNG) []int {
+// participate more often. A non-nil scratch supplies every buffer.
+func (e *Evaluator) sampleSubset(errs []float64, g *rng.RNG, s *Scratch) []int {
 	n := len(errs)
 	k := e.scheme.Count
+	var idx []int
+	if s != nil {
+		s.idx = growInts(s.idx, n)
+		idx = s.idx
+	} else {
+		idx = make([]int, n)
+	}
 	if k >= n && e.scheme.Bias == 0 {
-		all := make([]int, n)
-		for i := range all {
-			all[i] = i
+		for i := range idx {
+			idx[i] = i
 		}
-		return all
+		return idx
 	}
 	if e.scheme.Bias == 0 {
-		return g.SampleWithoutReplacement(n, k)
+		return g.SampleWithoutReplacementInto(n, k, idx)
 	}
-	w := make([]float64, n)
+	var w, keys []float64
+	if s != nil {
+		s.bias = growFloats(s.bias, n)
+		s.keys = growFloats(s.keys, n)
+		w, keys = s.bias, s.keys
+	} else {
+		w, keys = make([]float64, n), make([]float64, n)
+	}
 	for i, err := range errs {
 		acc := 1 - err
 		if acc < 0 {
@@ -248,5 +285,21 @@ func (e *Evaluator) sampleSubset(errs []float64, g *rng.RNG) []int {
 		}
 		w[i] = math.Pow(acc+e.scheme.BiasDelta, e.scheme.Bias)
 	}
-	return g.WeightedSampleWithoutReplacement(w, k)
+	return g.WeightedSampleWithoutReplacementInto(w, k, keys, idx)
+}
+
+// growInts returns b resized to length n, reallocating only on growth.
+func growInts(b []int, n int) []int {
+	if cap(b) < n {
+		return make([]int, n)
+	}
+	return b[:n]
+}
+
+// growFloats returns b resized to length n, reallocating only on growth.
+func growFloats(b []float64, n int) []float64 {
+	if cap(b) < n {
+		return make([]float64, n)
+	}
+	return b[:n]
 }

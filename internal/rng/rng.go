@@ -88,6 +88,30 @@ func fnvString(h uint64, s string) uint64 {
 	return h
 }
 
+// FNV64a is the incremental FNV-1a state this package derives split seeds
+// with, exported so other hot paths (the bank oracle's evaluation-stream
+// seeds) share one canonical implementation instead of re-inlining the
+// constants — and fold bytes without allocating a hash.Hash.
+type FNV64a uint64
+
+// NewFNV64a returns the FNV-1a offset basis.
+func NewFNV64a() FNV64a { return fnvOffset64 }
+
+// Byte folds one byte.
+func (h FNV64a) Byte(b byte) FNV64a { return FNV64a(fnvByte(uint64(h), b)) }
+
+// String folds s's bytes.
+func (h FNV64a) String(s string) FNV64a { return FNV64a(fnvString(uint64(h), s)) }
+
+// Uint64Decimal folds v's base-10 digits — the bytes fmt's %d would write.
+func (h FNV64a) Uint64Decimal(v uint64) FNV64a {
+	var buf [20]byte
+	return FNV64a(fnvBytes(uint64(h), strconv.AppendUint(buf[:0], v, 10)))
+}
+
+// Sum returns the current hash value.
+func (h FNV64a) Sum() uint64 { return uint64(h) }
+
 // deriveSeed returns the child seed Split(string(label)) computes.
 func (g *RNG) deriveSeed(label []byte) uint64 {
 	const hexDigits = "0123456789abcdef"
@@ -119,6 +143,17 @@ func (g *RNG) hashPath(h uint64) uint64 {
 func (g *RNG) reseed(seed uint64) {
 	g.seed = seed
 	g.src.Seed(seed, seed^0x9e3779b97f4a7c15)
+}
+
+// Reseed reinitializes g in place to the exact stream New(seed) returns
+// (root path, identical subsequent Split derivations), reusing g's
+// allocations. The hot-path form of "make a fresh RNG per evaluation" used
+// by the bank oracle: one RNG per trial, reseeded per evaluation call.
+func (g *RNG) Reseed(seed uint64) {
+	g.reseed(seed)
+	g.path = ""
+	g.parentPath = ""
+	g.deferred = false
 }
 
 // splitLabelInto reseeds dst to the stream g.Split(string(label)) returns,
@@ -442,14 +477,27 @@ func (g *RNG) WeightedSampleWithoutReplacement(weights []float64, k int) []int {
 	if k == 0 {
 		return nil
 	}
+	return g.WeightedSampleWithoutReplacementInto(weights, k, make([]float64, n), make([]int, n))
+}
+
+// WeightedSampleWithoutReplacementInto is WeightedSampleWithoutReplacement
+// with caller-owned scratch: keyBuf and idxBuf must each have length >= n.
+// The result occupies idxBuf[:k]. It draws from the stream identically to
+// the allocating form (one uniform per positive weight, in index order), so
+// the two are interchangeable without perturbing reproducibility — the
+// hot-path form used by the evaluator's biased client sampling.
+func (g *RNG) WeightedSampleWithoutReplacementInto(weights []float64, k int, keyBuf []float64, idxBuf []int) []int {
+	n := len(weights)
+	if k < 0 || k > n {
+		panic(fmt.Sprintf("rng: WeightedSampleWithoutReplacementInto k=%d out of range [0, %d]", k, n))
+	}
+	if k == 0 {
+		return idxBuf[:0]
+	}
 	// Efraimidis-Spirakis: key = u^(1/w); take the k largest keys.
 	// Zero-weight items get key -inf and are only selected after all
 	// positive-weight items are exhausted.
-	type kw struct {
-		key float64
-		idx int
-	}
-	keys := make([]kw, n)
+	keys, idx := keyBuf[:n], idxBuf[:n]
 	anyPositive := false
 	for i, w := range weights {
 		if w < 0 || math.IsNaN(w) {
@@ -457,29 +505,28 @@ func (g *RNG) WeightedSampleWithoutReplacement(weights []float64, k int) []int {
 		}
 		if w > 0 {
 			anyPositive = true
-			keys[i] = kw{key: math.Pow(g.Float64(), 1/w), idx: i}
+			keys[i] = math.Pow(g.Float64(), 1/w)
 		} else {
-			keys[i] = kw{key: math.Inf(-1), idx: i}
+			keys[i] = math.Inf(-1)
 		}
+		idx[i] = i
 	}
 	if !anyPositive {
 		panic("rng: all weights are zero")
 	}
-	// Partial selection of the k largest keys.
+	// Partial selection of the k largest keys (same comparisons and swaps
+	// as the historical pair-struct implementation).
 	for i := 0; i < k; i++ {
 		best := i
 		for j := i + 1; j < n; j++ {
-			if keys[j].key > keys[best].key {
+			if keys[j] > keys[best] {
 				best = j
 			}
 		}
 		keys[i], keys[best] = keys[best], keys[i]
+		idx[i], idx[best] = idx[best], idx[i]
 	}
-	out := make([]int, k)
-	for i := 0; i < k; i++ {
-		out[i] = keys[i].idx
-	}
-	return out
+	return idx[:k]
 }
 
 // Bool returns true with probability p.

@@ -446,3 +446,55 @@ func maxOf(xs []float64) float64 {
 	}
 	return m
 }
+
+// TestWeightedSampleIntoMatchesAllocating pins stream and output equality of
+// the scratch form against the allocating form (what the evaluator's biased
+// hot path relies on).
+func TestWeightedSampleIntoMatchesAllocating(t *testing.T) {
+	weights := []float64{0.1, 3, 0, 1.2, 0.7, 0, 2.2, 5, 0.01, 1}
+	n := len(weights)
+	keyBuf, idxBuf := make([]float64, n), make([]int, n)
+	for k := 0; k <= n; k++ {
+		a := New(77).Split("ws").WeightedSampleWithoutReplacement(weights, k)
+		g := New(77).Split("ws")
+		b := g.WeightedSampleWithoutReplacementInto(weights, k, keyBuf, idxBuf)
+		if len(a) != len(b) {
+			t.Fatalf("k=%d: lengths differ: %d vs %d", k, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("k=%d: index %d differs: %d vs %d", k, i, a[i], b[i])
+			}
+		}
+		// Both forms must leave the stream in the same state.
+		ref := New(77).Split("ws")
+		ref.WeightedSampleWithoutReplacement(weights, k)
+		if ref.Float64() != g.Float64() {
+			t.Fatalf("k=%d: stream state diverged after sampling", k)
+		}
+	}
+}
+
+// TestReseedMatchesNew pins Reseed's contract: a reseeded generator is
+// indistinguishable from a freshly constructed one, including its Split
+// derivations.
+func TestReseedMatchesNew(t *testing.T) {
+	g := New(1)
+	g.Float64() // advance
+	_ = g.Split("child")
+	sub := New(0)
+	g.SplitInto(sub, "x") // leave a deferred path behind
+	sub.Reseed(42)
+	fresh := New(42)
+	for i := 0; i < 16; i++ {
+		if sub.Uint64() != fresh.Uint64() {
+			t.Fatalf("draw %d differs after Reseed", i)
+		}
+	}
+	if sub.Split("lbl").Uint64() != fresh.Split("lbl").Uint64() {
+		t.Error("Split derivation differs after Reseed (stale path state)")
+	}
+	if sub.Path() != fresh.Path() {
+		t.Errorf("paths differ: %q vs %q", sub.Path(), fresh.Path())
+	}
+}

@@ -309,7 +309,8 @@ func (s *Server) handleBanks(w http.ResponseWriter, r *http.Request) {
 		"dir":   store.Dir(),
 		"banks": out,
 		"stats": map[string]int64{
-			"hits": st.Hits, "misses": st.Misses, "builds": st.Builds, "evicted": st.Evicted,
+			"hits": st.Hits, "misses": st.Misses, "builds": st.Builds,
+			"evicted": st.Evicted, "stale_format": st.StaleFormat,
 		},
 	})
 }
@@ -347,6 +348,7 @@ func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {
 	setInt("bank_cache_misses", st.Misses)
 	setInt("bank_cache_builds", st.Builds)
 	setInt("bank_cache_evicted", st.Evicted)
+	setInt("bank_cache_stale_format", st.StaleFormat)
 	setInt("bank_builds_trained", s.mgr.BankBuilds())
 	setInt("http_requests_in_flight", s.inFl.Load())
 	setInt("http_requests_total", s.total.Load())

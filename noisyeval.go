@@ -130,6 +130,10 @@ type (
 	BuildPlan = core.BuildPlan
 	// BankShard is the training output for one config index range.
 	BankShard = core.BankShard
+	// ErrMatrix is the bank's dense error tensor: one contiguous arena
+	// with [partition][config][checkpoint][client] strides and
+	// zero-allocation row views.
+	ErrMatrix = core.ErrMatrix
 	// Tuner couples a method, space, and settings.
 	Tuner = core.Tuner
 	// Noise describes a combined evaluation-noise setting.
@@ -178,9 +182,12 @@ var (
 	NewBuildPlan          = core.NewBuildPlan
 	AssembleBank          = core.AssembleBank
 	ShardRanges           = core.ShardRanges
+	NewErrMatrix          = core.NewErrMatrix
 	SaveBank              = core.SaveBank
 	LoadBank              = core.LoadBank
+	EncodeBank            = core.EncodeBank
 	DecodeBank            = core.DecodeBank
+	IsStaleBankFormat     = core.IsStaleBankFormat
 	NewBankOracle         = core.NewBankOracle
 	NewLiveOracle         = core.NewLiveOracle
 	FinalErrors           = core.FinalErrors

@@ -1,8 +1,19 @@
 // Command benchdiff compares a freshly generated benchmark JSON (bench2json
-// output) against a committed baseline and fails when a gated benchmark's
-// ns/op regresses beyond the allowed fraction. CI runs it after the bench
-// smoke job so hot-path regressions fail the build instead of landing
-// silently; `make bench-check` runs the identical gate locally.
+// output) against a committed baseline and fails when a gated benchmark
+// regresses:
+//
+//   - ns/op beyond -max-regress (default 25%)
+//   - B/op beyond -max-regress (same fraction; bytes are far less
+//     machine-dependent than wall clock, so this catches quiet allocation
+//     growth the timing gate would absorb)
+//   - allocs/op leaving zero: a baseline of 0 allocs/op is a hard invariant
+//     (a hot path engineered to be allocation-free), so ANY allocation is a
+//     failure regardless of fractions
+//   - allocs/op beyond -max-allocs-frac of baseline, when set
+//
+// CI runs it after the bench smoke job so hot-path regressions fail the
+// build instead of landing silently; `make bench-check` runs the identical
+// gate locally.
 //
 //	benchdiff -baseline BENCH_baseline.json -latest BENCH_latest.json \
 //	    -bench BenchmarkFederatedRound,BenchmarkBankBuild -max-regress 0.25
@@ -19,6 +30,11 @@ import (
 	"os"
 	"strings"
 )
+
+// minGatedBOp is the smallest baseline B/op the fractional byte gate
+// applies to. Below it, per-op bytes are dominated by warmup amortization
+// noise rather than steady-state allocation.
+const minGatedBOp = 4096
 
 // Entry mirrors bench2json's output schema.
 type Entry struct {
@@ -114,12 +130,32 @@ func main() {
 			status = fmt.Sprintf("REGRESSION > %.0f%%", *maxRegress*100)
 			failed = true
 		}
+		// B/op regresses on the same fractional budget as ns/op. Bytes are
+		// machine-independent, so this gate holds even when timing noise
+		// hides an allocation-heavy change. Near-zero baselines are exempt:
+		// a steady-state-zero-alloc benchmark's residual B/op is warmup
+		// amortization (tens of bytes whose per-op share swings with b.N),
+		// not signal — the zero-alloc gate below owns that regime.
+		bb, lb := b.Metrics["B/op"], l.Metrics["B/op"]
+		if bb >= minGatedBOp && lb > bb*(1+*maxRegress) {
+			status = fmt.Sprintf("B/op REGRESSION (%.0f > %.0f%% of baseline %.0f)", lb, (1+*maxRegress)*100, bb)
+			failed = true
+		}
 		ba, la := b.Metrics["allocs/op"], l.Metrics["allocs/op"]
+		// Zero is a contract, not a measurement: a benchmark pinned at
+		// 0 allocs/op fails on the first allocation, full stop.
+		if _, tracked := b.Metrics["allocs/op"]; tracked && ba == 0 && la > 0 {
+			status = fmt.Sprintf("ZERO-ALLOC REGRESSION (%.0f allocs/op, baseline 0)", la)
+			failed = true
+		}
 		if *maxAllocsFrac > 0 && ba > 0 && la > ba**maxAllocsFrac {
 			status = fmt.Sprintf("ALLOCS REGRESSION (%.0f > %.0f%% of baseline %.0f)", la, *maxAllocsFrac*100, ba)
 			failed = true
 		}
 		fmt.Printf("%-32s %14.0f -> %14.0f ns/op  (%.2fx baseline", name, bn, ln, ratio)
+		if bb > 0 || lb > 0 {
+			fmt.Printf(", B/op %.0f -> %.0f", bb, lb)
+		}
 		if ba > 0 || la > 0 {
 			fmt.Printf(", allocs %.0f -> %.0f", ba, la)
 		}
