@@ -10,7 +10,7 @@
 #                    the committed BENCH_baseline.json (tools/benchdiff)
 #   make figures     quick-scale figure regeneration through the bank cache
 #   make serve       run the noisyevald tuning daemon on $(SERVE_ADDR)
-#   make serve-smoke boot noisyevald, wait on /healthz, run one quick job
+#   make serve-smoke boot noisyevald, drive runs + an ask/tell session via pkg/client
 #                    end to end, shut down gracefully (used by CI)
 #   make cluster-smoke boot a coordinator + two noisyworker processes, build
 #                    quick banks cold through sharded fleet leases (both
@@ -36,6 +36,8 @@ race:
 	NOISYEVAL_CACHE_DIR=$(CACHE_DIR) $(GO) test -race \
 		-run 'TestScheduler|TestBankStore|TestBankKey|TestBuildBank|TestSuite|TestRunKey|TestRunTune' \
 		./internal/core ./internal/exper
+	NOISYEVAL_CACHE_DIR=$(CACHE_DIR) $(GO) test -race \
+		-run 'TestAskTell|TestSession' ./internal/hpo ./internal/serve
 	NOISYEVAL_CACHE_DIR=$(CACHE_DIR) $(GO) test -race ./internal/serve ./internal/dist
 
 bench:
@@ -63,9 +65,11 @@ figures:
 serve:
 	$(GO) run ./cmd/noisyevald -addr $(SERVE_ADDR) -cache-dir $(CACHE_DIR)
 
-# End-to-end daemon smoke: boot, wait for /healthz, submit one quick run,
-# stream it to completion, check the result and a dedup hit, drain on
-# SIGTERM. Identical locally and in CI's serve job.
+# End-to-end daemon smoke: boot noisyevald, then drive it with the
+# tools/servesmoke exerciser over pkg/client — one quick run streamed to
+# completion with a dedup hit, the /v1/methods catalogue, and an ask/tell
+# session whose best must match the server-driven run exactly — then drain
+# on SIGTERM. Identical locally and in CI's serve job.
 serve-smoke: build
 	./tools/serve_smoke.sh $(SERVE_ADDR) $(CACHE_DIR)
 

@@ -14,6 +14,10 @@
 //	curl -s -X POST localhost:8723/v1/runs -d '{"dataset":"cifar10","method":"rs","trials":8,"noise":{"sample_count":3}}'
 //	curl -s localhost:8723/v1/runs/run-000001
 //	curl -sN localhost:8723/v1/runs/run-000001/events
+//	curl -s localhost:8723/v1/methods
+//	curl -s -X POST localhost:8723/v1/sessions -d '{"dataset":"cifar10","method":"sha"}'
+//	curl -s -X POST localhost:8723/v1/sessions/sess-000001/ask
+//	curl -s -X POST localhost:8723/v1/sessions/sess-000001/tell -d '{"answers":[{"ask_id":0}]}'
 //	curl -s localhost:8723/v1/banks
 //	curl -s localhost:8723/debug/vars
 //
@@ -47,6 +51,8 @@ func main() {
 		workers       = flag.Int("workers", 2, "max concurrently executing runs")
 		queueDepth    = flag.Int("queue", 64, "max queued runs before submissions get 503")
 		runTTL        = flag.Duration("run-ttl", 15*time.Minute, "how long finished runs stay fetchable and dedupable (negative = forever)")
+		sessionTTL    = flag.Duration("session-ttl", serve.DefaultSessionIdleTTL, "idle time before ask/tell sessions are reaped (negative = never)")
+		maxSessions   = flag.Int("max-sessions", serve.DefaultMaxSessions, "max concurrently open ask/tell sessions")
 		drainTimeout  = flag.Duration("drain-timeout", 2*time.Minute, "graceful-shutdown budget for draining in-flight runs")
 		cluster       = flag.Bool("cluster", false, "mount dist coordinator endpoints and shard bank builds across noisyworker processes")
 		shardConfigs  = flag.Int("shard-configs", 8, "cluster mode: config indices per shard job")
@@ -100,11 +106,13 @@ func main() {
 	}
 
 	mgr := serve.NewManager(serve.Options{
-		Store:      store,
-		Builder:    builder,
-		Workers:    *workers,
-		QueueDepth: *queueDepth,
-		TTL:        *runTTL,
+		Store:          store,
+		Builder:        builder,
+		Workers:        *workers,
+		QueueDepth:     *queueDepth,
+		TTL:            *runTTL,
+		SessionIdleTTL: *sessionTTL,
+		MaxSessions:    *maxSessions,
 	})
 	daemon := serve.NewDaemon(*addr, mgr)
 	if coord != nil {

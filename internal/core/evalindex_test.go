@@ -1,0 +1,78 @@
+package core
+
+import (
+	"testing"
+
+	"noisyeval/internal/eval"
+)
+
+// TestEvaluateIndexMatchesEvaluate pins the session-API contract: addressing
+// a pool config by index produces exactly the by-value Evaluate result for
+// the same (trial, evalID), and the reported true error matches TrueError.
+func TestEvaluateIndexMatchesEvaluate(t *testing.T) {
+	b, _ := tinyBank(t)
+	base, err := NewBankOracle(b, 0, eval.Scheme{Count: 4, Weighted: true}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range []*BankOracle{base, base.WithTrial(2)} {
+		for ci := range b.Configs {
+			for _, rounds := range []int{1, 5, b.MaxRounds()} {
+				ev, err := o.EvaluateIndex(ci, rounds, "cohort-a")
+				if err != nil {
+					t.Fatalf("EvaluateIndex(%d, %d): %v", ci, rounds, err)
+				}
+				cfg := b.Configs[ci]
+				if want := o.Evaluate(cfg, rounds, "cohort-a"); ev.Observed != want {
+					t.Fatalf("EvaluateIndex(%d, %d).Observed = %v, Evaluate = %v", ci, rounds, ev.Observed, want)
+				}
+				if want := o.TrueError(cfg, rounds); ev.True != want {
+					t.Fatalf("EvaluateIndex(%d, %d).True = %v, TrueError = %v", ci, rounds, ev.True, want)
+				}
+				if ev.ConfigIndex != ci {
+					t.Fatalf("ConfigIndex = %d, want %d", ev.ConfigIndex, ci)
+				}
+				if ev.Rounds > rounds && rounds >= b.Rounds[0] {
+					t.Fatalf("snapped rounds %d exceeds requested %d", ev.Rounds, rounds)
+				}
+			}
+		}
+	}
+}
+
+// TestEvaluateIndexSnapsCheckpoints pins the snapping rule: the highest
+// recorded checkpoint not exceeding the request (clamped to the first).
+func TestEvaluateIndexSnapsCheckpoints(t *testing.T) {
+	b, _ := tinyBank(t) // checkpoints 1, 3, 9, 27
+	o, err := NewBankOracle(b, 0, eval.Noiseless(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[int]int{1: 1, 2: 1, 3: 3, 8: 3, 9: 9, 26: 9, 27: 27, 1000: 27}
+	for req, want := range cases {
+		ev, err := o.EvaluateIndex(0, req, "x")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ev.Rounds != want {
+			t.Errorf("rounds %d snapped to %d, want %d", req, ev.Rounds, want)
+		}
+	}
+}
+
+func TestEvaluateIndexRejectsBadInputs(t *testing.T) {
+	b, _ := tinyBank(t)
+	o, err := NewBankOracle(b, 0, eval.Noiseless(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.EvaluateIndex(-1, 9, "x"); err == nil {
+		t.Error("negative index accepted")
+	}
+	if _, err := o.EvaluateIndex(len(b.Configs), 9, "x"); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+	if _, err := o.EvaluateIndex(0, 0, "x"); err == nil {
+		t.Error("zero rounds accepted")
+	}
+}

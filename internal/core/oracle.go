@@ -103,6 +103,52 @@ func (o *BankOracle) TrueError(cfg fl.HParams, rounds int) float64 {
 	return o.full.FullError(o.row(cfg, rounds))
 }
 
+// ConfigEval is the outcome of one single-config evaluation — the session
+// API's unit of work (EvaluateIndex).
+type ConfigEval struct {
+	// ConfigIndex is the evaluated pool index.
+	ConfigIndex int
+	// Rounds is the checkpoint actually read: the highest recorded
+	// checkpoint not exceeding the requested rounds.
+	Rounds int
+	// Observed is the noisy (subsampled/biased, pre-DP) validation error.
+	Observed float64
+	// True is the noise-free full weighted validation error at Rounds.
+	True float64
+}
+
+// EvaluateIndex evaluates pool configuration ci at the checkpoint nearest to
+// rounds (not exceeding it) under evalID's cohort, addressing the config by
+// index instead of by value — the entry point for ask/tell sessions, where
+// external callers speak pool indices. It is exactly Evaluate for
+// bank.Configs[ci] with the same evalID (same cohort seed, same scratch
+// reuse: zero allocations on a WithTrial copy), plus the true error from the
+// same arena row. Out-of-range indices and out-of-range rounds return errors
+// instead of panicking, because they arrive from the network.
+func (o *BankOracle) EvaluateIndex(ci, rounds int, evalID string) (ConfigEval, error) {
+	if ci < 0 || ci >= len(o.bank.Configs) {
+		return ConfigEval{}, fmt.Errorf("core: config index %d outside pool [0, %d)", ci, len(o.bank.Configs))
+	}
+	if rounds < 1 {
+		return ConfigEval{}, fmt.Errorf("core: rounds %d must be ≥ 1", rounds)
+	}
+	ri := o.bank.CheckpointIndex(rounds)
+	errs := o.bank.Errs.Row(o.pi, ci, ri)
+	var observed float64
+	if s := o.scratch; s != nil {
+		s.g.Reseed(o.evalSeed(evalID))
+		observed = o.evaluator.EvaluateScratch(errs, s.g, &s.eval).Observed
+	} else {
+		observed = o.evaluator.Evaluate(errs, rng.New(o.evalSeed(evalID))).Observed
+	}
+	return ConfigEval{
+		ConfigIndex: ci,
+		Rounds:      o.bank.Rounds[ri],
+		Observed:    observed,
+		True:        o.full.FullError(errs),
+	}, nil
+}
+
 // SampleSize implements hpo.Oracle.
 func (o *BankOracle) SampleSize() int { return o.evaluator.SampleSize() }
 

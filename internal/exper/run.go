@@ -99,6 +99,11 @@ func (s *Suite) bankKeyFor(name string) string {
 	return core.BankKey(spec, opts, seed)
 }
 
+// BankKeyFor exposes the bank content address a run against name records —
+// the serve layer's session API reports it so external drivers can correlate
+// a session with /v1/runs results and /v1/banks entries for the same bank.
+func (s *Suite) BankKeyFor(name string) string { return s.bankKeyFor(name) }
+
 // methodKey renders a method for run-key hashing: the display name plus the
 // value's full configuration, so parameterized variants (e.g. ResampledRS
 // with different Reps) hash distinctly.

@@ -1,0 +1,266 @@
+package hpo
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"noisyeval/internal/fl"
+	"noisyeval/internal/rng"
+)
+
+// ErrDriverClosed is returned by Ask and Tell after Close (or after the
+// driven method finished and its history was collected).
+var ErrDriverClosed = errors.New("hpo: ask/tell driver closed")
+
+// EvalRequest is one evaluation the driven method wants answered: "tell me
+// the observed error of Config trained to Rounds, evaluated under EvalID's
+// cohort". IDs are sequential from 0 and every request must be answered (or
+// the driver closed) before the method can progress.
+type EvalRequest struct {
+	// ID is the sequential ask identifier; Tell must echo it.
+	ID int
+	// Config is the configuration the method wants evaluated.
+	Config fl.HParams
+	// PoolIndex is Config's index in the oracle's candidate pool, or -1 when
+	// the oracle has no pool (live mode) or the config is not a pool member.
+	PoolIndex int
+	// Rounds is the training fidelity requested.
+	Rounds int
+	// EvalID names the evaluation cohort (asks sharing an EvalID expect the
+	// same sampled client subset — SHA rungs evaluate all survivors on one).
+	EvalID string
+}
+
+// pendingEval pairs a request with its one-shot answer channel.
+type pendingEval struct {
+	req   EvalRequest
+	reply chan float64
+}
+
+// errAskTellClosed is the sentinel panic that unwinds the method goroutine
+// when the driver is closed mid-run.
+type errAskTellClosed struct{}
+
+// AskTellDriver inverts a Method's control flow: instead of the method
+// calling Oracle.Evaluate synchronously, the method runs in its own
+// goroutine against a proxy oracle whose Evaluate blocks on a channel
+// handshake. Ask surfaces the method's next pending evaluation; Tell feeds
+// the observed value back and resumes the method. Any registered Method
+// works unmodified — this is what lets noisyevald expose RS, SHA, TPE, or
+// FedPop as a stateful ask/tell session to external callers (DESIGN.md §10).
+//
+// The driver is safe for concurrent use, but the protocol is sequential:
+// one pending ask at a time, answered in order. Ask is idempotent — calling
+// it again without an intervening Tell returns the same EvalRequest.
+type AskTellDriver struct {
+	oracle Oracle
+
+	pending chan pendingEval
+	done    chan struct{} // closed when the method goroutine returns
+	closed  chan struct{} // closed by Close; unblocks the proxy oracle
+
+	closeOnce sync.Once
+
+	mu      sync.Mutex
+	cur     *pendingEval // Ask'd but not yet Tell'd
+	hist    *History     // set when the method returns normally
+	err     error        // set when the method panicked or was closed mid-run
+	next    int          // next ask ID
+	poolIdx map[fl.HParams]int
+}
+
+// NewAskTellDriver starts m.Run in a background goroutine against a proxy of
+// o and returns the driver. The method's stochastic choices use g exactly as
+// a direct Run would, so driving every ask with the real oracle's answer
+// reproduces m.Run(o, space, s, g) observation for observation.
+func NewAskTellDriver(m Method, o Oracle, space Space, s Settings, g *rng.RNG) *AskTellDriver {
+	d := &AskTellDriver{
+		oracle:  o,
+		pending: make(chan pendingEval),
+		done:    make(chan struct{}),
+		closed:  make(chan struct{}),
+	}
+	go func() {
+		defer close(d.done)
+		defer func() {
+			if r := recover(); r != nil {
+				d.mu.Lock()
+				defer d.mu.Unlock()
+				if _, isClose := r.(errAskTellClosed); isClose {
+					d.err = ErrDriverClosed
+				} else {
+					d.err = fmt.Errorf("hpo: method %s panicked: %v", m.Name(), r)
+				}
+			}
+		}()
+		h := m.Run(proxyOracle{d}, space, s, g)
+		d.mu.Lock()
+		d.hist = h
+		d.mu.Unlock()
+	}()
+	return d
+}
+
+// proxyOracle is the oracle handed to the driven method. Evaluate performs
+// the ask/tell handshake; everything else forwards to the real oracle (pool,
+// fidelity grid, and sample size are static facts, and TrueError touches no
+// evaluation scratch, so forwarding races with nothing).
+type proxyOracle struct{ d *AskTellDriver }
+
+func (p proxyOracle) Evaluate(cfg fl.HParams, rounds int, evalID string) float64 {
+	return p.d.exchange(cfg, rounds, evalID)
+}
+func (p proxyOracle) TrueError(cfg fl.HParams, rounds int) float64 {
+	return p.d.oracle.TrueError(cfg, rounds)
+}
+func (p proxyOracle) SampleSize() int    { return p.d.oracle.SampleSize() }
+func (p proxyOracle) Pool() []fl.HParams { return p.d.oracle.Pool() }
+func (p proxyOracle) MaxRounds() int     { return p.d.oracle.MaxRounds() }
+
+// exchange runs on the method goroutine: publish the request, block until
+// Tell answers it. A concurrent Close unwinds the goroutine via the sentinel
+// panic so the method never leaks.
+func (d *AskTellDriver) exchange(cfg fl.HParams, rounds int, evalID string) float64 {
+	d.mu.Lock()
+	id := d.next
+	d.next++
+	d.mu.Unlock()
+	pe := pendingEval{
+		req: EvalRequest{
+			ID: id, Config: cfg, PoolIndex: d.poolIndex(cfg),
+			Rounds: rounds, EvalID: evalID,
+		},
+		reply: make(chan float64, 1),
+	}
+	select {
+	case d.pending <- pe:
+	case <-d.closed:
+		panic(errAskTellClosed{})
+	}
+	select {
+	case v := <-pe.reply:
+		return v
+	case <-d.closed:
+		panic(errAskTellClosed{})
+	}
+}
+
+// poolIndex resolves cfg's pool position lazily (the pool is static, so the
+// map is built once on first use; fl.HParams is comparable and is already
+// the bank's own index key).
+func (d *AskTellDriver) poolIndex(cfg fl.HParams) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.poolIdx == nil {
+		pool := d.oracle.Pool()
+		d.poolIdx = make(map[fl.HParams]int, len(pool))
+		for i, c := range pool {
+			if _, dup := d.poolIdx[c]; !dup {
+				d.poolIdx[c] = i
+			}
+		}
+	}
+	if i, ok := d.poolIdx[cfg]; ok {
+		return i
+	}
+	return -1
+}
+
+// Ask returns the method's next pending evaluation. ok is false when the
+// method has finished (History then returns its result). Ask is idempotent:
+// an unanswered request is returned again. It blocks until the method posts
+// a request, finishes, the driver closes, or ctx expires.
+func (d *AskTellDriver) Ask(ctx context.Context) (req EvalRequest, ok bool, err error) {
+	select {
+	case <-d.closed:
+		return EvalRequest{}, false, ErrDriverClosed
+	default:
+	}
+	d.mu.Lock()
+	if cur := d.cur; cur != nil {
+		d.mu.Unlock()
+		return cur.req, true, nil
+	}
+	d.mu.Unlock()
+
+	select {
+	case pe := <-d.pending:
+		d.mu.Lock()
+		d.cur = &pe
+		d.mu.Unlock()
+		return pe.req, true, nil
+	case <-d.done:
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		return EvalRequest{}, false, d.err
+	case <-d.closed:
+		return EvalRequest{}, false, ErrDriverClosed
+	case <-ctx.Done():
+		return EvalRequest{}, false, ctx.Err()
+	}
+}
+
+// Tell answers the pending ask with its observed error and resumes the
+// method. id must match the pending request's ID; telling with no pending
+// ask (Ask not called, or already answered) is an error.
+func (d *AskTellDriver) Tell(id int, observed float64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	select {
+	case <-d.closed:
+		return ErrDriverClosed
+	default:
+	}
+	if d.cur == nil {
+		return fmt.Errorf("hpo: tell %d with no pending ask", id)
+	}
+	if d.cur.req.ID != id {
+		return fmt.Errorf("hpo: tell %d does not match pending ask %d", id, d.cur.req.ID)
+	}
+	d.cur.reply <- observed // buffered; never blocks
+	d.cur = nil
+	return nil
+}
+
+// Pending returns the current unanswered ask, if any, without blocking.
+func (d *AskTellDriver) Pending() (EvalRequest, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.cur != nil {
+		return d.cur.req, true
+	}
+	return EvalRequest{}, false
+}
+
+// Done reports whether the method goroutine has returned.
+func (d *AskTellDriver) Done() bool {
+	select {
+	case <-d.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Close terminates the driver: a blocked method goroutine unwinds
+// immediately and Ask/Tell return ErrDriverClosed. Close is idempotent,
+// safe to call concurrently with Ask/Tell, and waits for the method
+// goroutine to exit — after Close returns, nothing references the oracle.
+func (d *AskTellDriver) Close() {
+	d.closeOnce.Do(func() { close(d.closed) })
+	<-d.done
+}
+
+// History returns the finished method's observation log. It is nil (with a
+// nil error) while the method is still running; after a mid-run Close or a
+// method panic it is nil with the terminal error.
+func (d *AskTellDriver) History() (*History, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.hist != nil {
+		return d.hist, nil
+	}
+	return nil, d.err
+}

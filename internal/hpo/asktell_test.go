@@ -1,0 +1,209 @@
+package hpo
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"noisyeval/internal/rng"
+)
+
+// driveToCompletion answers every ask with ans's evaluation until the method
+// finishes, returning its history. ans must be a distinct oracle instance
+// with the same parameters as the driver's, so external evaluation order
+// cannot perturb shared state.
+func driveToCompletion(t *testing.T, d *AskTellDriver, ans Oracle) *History {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for {
+		req, ok, err := d.Ask(ctx)
+		if err != nil {
+			t.Fatalf("Ask: %v", err)
+		}
+		if !ok {
+			h, err := d.History()
+			if err != nil || h == nil {
+				t.Fatalf("History after done: %v (hist=%v)", err, h)
+			}
+			return h
+		}
+		obs := ans.Evaluate(req.Config, req.Rounds, req.EvalID)
+		if err := d.Tell(req.ID, obs); err != nil {
+			t.Fatalf("Tell(%d): %v", req.ID, err)
+		}
+	}
+}
+
+// TestAskTellParity is the inversion contract: driving any method through
+// the ask/tell state machine, answering each ask with the real oracle,
+// reproduces the direct Run observation for observation.
+func TestAskTellParity(t *testing.T) {
+	methods := []Method{RandomSearch{}, SuccessiveHalving{}, TPE{}, Hyperband{}, FedPop{}}
+	for _, m := range methods {
+		t.Run(m.Name(), func(t *testing.T) {
+			s := smallSettings()
+			space := DefaultSpace()
+
+			direct := newTestOracle(0.05)
+			want := m.Run(direct, space, s, rng.New(42))
+
+			o := newTestOracle(0.05)
+			ans := newTestOracle(0.05)
+			d := NewAskTellDriver(m, o, space, s, rng.New(42))
+			defer d.Close()
+			got := driveToCompletion(t, d, ans)
+
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("ask/tell history diverges from direct run:\n direct: %d obs\n driven: %d obs\n first: %+v vs %+v",
+					len(want.Observations), len(got.Observations), first(want), first(got))
+			}
+		})
+	}
+}
+
+func first(h *History) Observation {
+	if len(h.Observations) == 0 {
+		return Observation{}
+	}
+	return h.Observations[0]
+}
+
+func TestAskTellPoolIndex(t *testing.T) {
+	o := newTestOracle(0.02)
+	o.pool = DefaultSpace().SampleN(16, rng.New(9))
+	ans := newTestOracle(0.02)
+	ans.pool = o.pool
+	d := NewAskTellDriver(RandomSearch{}, o, DefaultSpace(), smallSettings(), rng.New(7))
+	defer d.Close()
+
+	ctx := context.Background()
+	for {
+		req, ok, err := d.Ask(ctx)
+		if err != nil {
+			t.Fatalf("Ask: %v", err)
+		}
+		if !ok {
+			break
+		}
+		if req.PoolIndex < 0 || req.PoolIndex >= len(o.pool) || o.pool[req.PoolIndex] != req.Config {
+			t.Fatalf("ask %d: PoolIndex %d does not locate config %+v", req.ID, req.PoolIndex, req.Config)
+		}
+		if err := d.Tell(req.ID, ans.Evaluate(req.Config, req.Rounds, req.EvalID)); err != nil {
+			t.Fatalf("Tell: %v", err)
+		}
+	}
+}
+
+func TestAskTellIdempotentAskAndTellErrors(t *testing.T) {
+	o := newTestOracle(0)
+	d := NewAskTellDriver(RandomSearch{}, o, DefaultSpace(), smallSettings(), rng.New(1))
+	defer d.Close()
+
+	if err := d.Tell(0, 0.5); err == nil {
+		t.Fatal("Tell before any Ask should error")
+	}
+	ctx := context.Background()
+	r1, ok, err := d.Ask(ctx)
+	if !ok || err != nil {
+		t.Fatalf("Ask: ok=%v err=%v", ok, err)
+	}
+	r2, ok, err := d.Ask(ctx)
+	if !ok || err != nil || !reflect.DeepEqual(r1, r2) {
+		t.Fatalf("repeated Ask not idempotent: %+v vs %+v (err=%v)", r1, r2, err)
+	}
+	if p, ok := d.Pending(); !ok || p.ID != r1.ID {
+		t.Fatalf("Pending = %+v, %v; want id %d", p, ok, r1.ID)
+	}
+	if err := d.Tell(r1.ID+1, 0.5); err == nil {
+		t.Fatal("Tell with mismatched id should error")
+	}
+	if err := d.Tell(r1.ID, 0.5); err != nil {
+		t.Fatalf("Tell: %v", err)
+	}
+	if err := d.Tell(r1.ID, 0.5); err == nil {
+		t.Fatal("double Tell should error")
+	}
+}
+
+func TestAskTellSequentialIDs(t *testing.T) {
+	o := newTestOracle(0)
+	ans := newTestOracle(0)
+	d := NewAskTellDriver(RandomSearch{}, o, DefaultSpace(), smallSettings(), rng.New(3))
+	defer d.Close()
+
+	ctx := context.Background()
+	want := 0
+	for {
+		req, ok, err := d.Ask(ctx)
+		if err != nil {
+			t.Fatalf("Ask: %v", err)
+		}
+		if !ok {
+			break
+		}
+		if req.ID != want {
+			t.Fatalf("ask ID = %d, want %d", req.ID, want)
+		}
+		want++
+		if err := d.Tell(req.ID, ans.Evaluate(req.Config, req.Rounds, req.EvalID)); err != nil {
+			t.Fatalf("Tell: %v", err)
+		}
+	}
+	if want == 0 {
+		t.Fatal("method asked nothing")
+	}
+}
+
+func TestAskTellCloseMidRun(t *testing.T) {
+	o := newTestOracle(0)
+	d := NewAskTellDriver(SuccessiveHalving{}, o, DefaultSpace(), smallSettings(), rng.New(5))
+
+	ctx := context.Background()
+	if _, ok, err := d.Ask(ctx); !ok || err != nil {
+		t.Fatalf("Ask: ok=%v err=%v", ok, err)
+	}
+	d.Close() // waits for the method goroutine to unwind
+	d.Close() // idempotent
+
+	if _, _, err := d.Ask(ctx); !errors.Is(err, ErrDriverClosed) {
+		t.Fatalf("Ask after Close: err=%v, want ErrDriverClosed", err)
+	}
+	if err := d.Tell(0, 0.1); !errors.Is(err, ErrDriverClosed) {
+		t.Fatalf("Tell after Close: err=%v, want ErrDriverClosed", err)
+	}
+	if h, err := d.History(); h != nil || !errors.Is(err, ErrDriverClosed) {
+		t.Fatalf("History after mid-run Close = (%v, %v), want (nil, ErrDriverClosed)", h, err)
+	}
+}
+
+func TestAskTellAskContextCancel(t *testing.T) {
+	o := newTestOracle(0)
+	d := NewAskTellDriver(RandomSearch{}, o, DefaultSpace(), smallSettings(), rng.New(8))
+	defer d.Close()
+
+	ctx := context.Background()
+	req, ok, err := d.Ask(ctx)
+	if !ok || err != nil {
+		t.Fatalf("Ask: ok=%v err=%v", ok, err)
+	}
+	if err := d.Tell(req.ID, 0.3); err != nil {
+		t.Fatalf("Tell: %v", err)
+	}
+	// Consume the next pending ask so none is cached, then cancel.
+	if _, ok, err := d.Ask(ctx); !ok || err != nil {
+		t.Fatalf("Ask: ok=%v err=%v", ok, err)
+	}
+	if err := d.Tell(1, 0.3); err != nil {
+		t.Fatalf("Tell: %v", err)
+	}
+	cctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// With no cached ask, a cancelled context must surface promptly even if
+	// the method has more asks queued.
+	if _, _, err := d.Ask(cctx); err == nil {
+		t.Log("ask raced ahead of cancellation; acceptable but unusual")
+	}
+}

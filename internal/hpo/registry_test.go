@@ -6,7 +6,7 @@ import (
 )
 
 func TestMethodsListing(t *testing.T) {
-	want := []string{"bohb", "grid", "hb", "noisybo", "reeval", "rs", "sha", "tpe"}
+	want := []string{"bohb", "fedpop", "grid", "hb", "noisybo", "reeval", "rs", "sha", "tpe"}
 	got := Methods()
 	if len(got) != len(want) {
 		t.Fatalf("Methods() = %v, want %v", got, want)
@@ -57,6 +57,28 @@ func TestMethodByNameUnknownNamesChoices(t *testing.T) {
 	for _, name := range Methods() {
 		if !strings.Contains(err.Error(), name) {
 			t.Errorf("error %q does not name valid choice %q", err, name)
+		}
+	}
+}
+
+func TestMethodInfos(t *testing.T) {
+	infos := MethodInfos()
+	names := Methods()
+	if len(infos) != len(names) {
+		t.Fatalf("MethodInfos() has %d entries, Methods() %d", len(infos), len(names))
+	}
+	for i, info := range infos {
+		if info.Name != names[i] {
+			t.Errorf("MethodInfos()[%d].Name = %q, want %q", i, info.Name, names[i])
+		}
+		if info.Display == "" || info.Description == "" {
+			t.Errorf("MethodInfos()[%d] (%q) missing display or description", i, info.Name)
+		}
+		for _, a := range info.Aliases {
+			canon, err := CanonicalMethodName(a)
+			if err != nil || canon != info.Name {
+				t.Errorf("alias %q of %q resolves to (%q, %v)", a, info.Name, canon, err)
+			}
 		}
 	}
 }

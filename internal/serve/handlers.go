@@ -1,8 +1,8 @@
 package serve
 
 import (
+	"encoding/base64"
 	"encoding/json"
-	"errors"
 	"expvar"
 	"fmt"
 	"io"
@@ -12,18 +12,30 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"noisyeval/internal/hpo"
 )
 
 // Server is the HTTP facade over a Manager. Routes:
 //
-//	POST /v1/runs             submit a tuning job (202; 200 on a dedup hit)
-//	GET  /v1/runs             list retained runs
-//	GET  /v1/runs/{id}        run status/result (ETag + If-None-Match → 304)
-//	GET  /v1/runs/{id}/events per-trial progress stream (NDJSON; SSE via
-//	                          Accept: text/event-stream)
-//	GET  /v1/banks            cached banks in the shared store
-//	GET  /healthz             liveness + queue depth
-//	GET  /debug/vars          expvar counters (runs, bank cache, HTTP)
+//	POST   /v1/runs                submit a tuning job (202; 200 on a dedup hit)
+//	GET    /v1/runs                list retained runs (?state=, ?limit=, ?cursor=)
+//	GET    /v1/runs/{id}           run status/result (ETag + If-None-Match → 304)
+//	GET    /v1/runs/{id}/events    per-trial progress stream (NDJSON; SSE via
+//	                               Accept: text/event-stream)
+//	GET    /v1/methods             tuning-method catalogue (names, aliases, settings)
+//	POST   /v1/sessions            open an ask/tell tuner session (201)
+//	GET    /v1/sessions            list open sessions
+//	GET    /v1/sessions/{id}       session state, trial log, best-so-far
+//	POST   /v1/sessions/{id}/ask   next suggested evaluation from the method
+//	POST   /v1/sessions/{id}/tell  answer asks / evaluate caller-chosen configs
+//	DELETE /v1/sessions/{id}       close a session
+//	GET    /v1/banks               cached banks in the shared store
+//	GET    /healthz                liveness + queue depth
+//	GET    /debug/vars             expvar counters (runs, sessions, bank cache, HTTP)
+//
+// Every non-2xx response carries the {"error":{"code","message"}} envelope
+// (errors.go holds the code table).
 type Server struct {
 	mgr     *Manager
 	mux     *http.ServeMux
@@ -50,6 +62,13 @@ func NewServer(m *Manager) *Server {
 	s.mux.HandleFunc("GET /v1/runs", s.handleList)
 	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleRun)
 	s.mux.HandleFunc("GET /v1/runs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /v1/methods", s.handleMethods)
+	s.mux.HandleFunc("POST /v1/sessions", s.handleSessionOpen)
+	s.mux.HandleFunc("GET /v1/sessions", s.handleSessionList)
+	s.mux.HandleFunc("GET /v1/sessions/{id}", s.handleSessionGet)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/ask", s.handleSessionAsk)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/tell", s.handleSessionTell)
+	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleSessionClose)
 	s.mux.HandleFunc("GET /v1/banks", s.handleBanks)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /debug/vars", s.handleVars)
@@ -78,21 +97,12 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-// errorBody is every non-2xx JSON response.
-type errorBody struct {
-	Error string `json:"error"`
-}
-
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	enc.Encode(v) // the status line is already out; nothing to do on error
-}
-
-func writeError(w http.ResponseWriter, code int, format string, args ...any) {
-	writeJSON(w, code, errorBody{Error: fmt.Sprintf(format, args...)})
 }
 
 // handleSubmit implements POST /v1/runs: decode, submit (dedup +
@@ -105,22 +115,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(io.LimitReader(r.Body, s.maxBody))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "decode request: %v", err)
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "decode request: %v", err)
 		return
 	}
 	run, created, err := s.mgr.Submit(req)
-	switch {
-	case errors.Is(err, ErrBadRequest):
-		writeError(w, http.StatusBadRequest, "%v", err)
-		return
-	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrShuttingDown):
-		// Retry-After tracks reality: queue-depth-derived while serving,
-		// a restart window while draining (Manager.RetryAfterSeconds).
-		w.Header().Set("Retry-After", strconv.Itoa(s.mgr.RetryAfterSeconds()))
-		writeError(w, http.StatusServiceUnavailable, "%v", err)
-		return
-	case err != nil:
-		writeError(w, http.StatusInternalServerError, "%v", err)
+	if err != nil {
+		// writeAPIError recovers the envelope code (unknown_method, queue_full,
+		// …) from the wrapped error; 503s carry a state-derived Retry-After.
+		s.writeAPIError(w, err)
 		return
 	}
 	w.Header().Set("Location", "/v1/runs/"+run.ID)
@@ -168,18 +170,100 @@ type runListItem struct {
 	Trials     int    `json:"trials_total"`
 }
 
+// List pagination bounds.
+const (
+	defaultListLimit = 100
+	maxListLimit     = 1000
+	cursorPrefix     = "v1:" // versioned so a future cursor shape can coexist
+)
+
+// encodeCursor renders the opaque resume cursor: the last delivered run ID,
+// versioned and base64-wrapped so clients treat it as a token, not a format.
+func encodeCursor(lastID string) string {
+	return base64.RawURLEncoding.EncodeToString([]byte(cursorPrefix + lastID))
+}
+
+// decodeCursor inverts encodeCursor.
+func decodeCursor(c string) (lastID string, err error) {
+	raw, err := base64.RawURLEncoding.DecodeString(c)
+	if err != nil || !strings.HasPrefix(string(raw), cursorPrefix) {
+		return "", codef(CodeInvalidCursor, "invalid cursor %q", c)
+	}
+	return strings.TrimPrefix(string(raw), cursorPrefix), nil
+}
+
+// handleList implements GET /v1/runs with filtering and keyset pagination:
+// ?state= keeps one lifecycle state, ?limit= bounds the page (default 100,
+// cap 1000), ?cursor= resumes after the previous page's last run. Run IDs
+// are assigned in increasing order and List returns them sorted, so the
+// cursor is a stable keyset position: runs finishing or expiring between
+// pages never shift the window, and next_cursor appears only when more
+// matching runs remain.
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
-	runs := s.mgr.Registry().List()
-	out := make([]runListItem, 0, len(runs))
-	for _, run := range runs {
+	q := r.URL.Query()
+	var stateFilter State
+	if v := strings.ToLower(strings.TrimSpace(q.Get("state"))); v != "" {
+		switch st := State(v); st {
+		case StateQueued, StateRunning, StateDone, StateFailed, StateCancelled:
+			stateFilter = st
+		default:
+			writeError(w, http.StatusBadRequest, CodeInvalidState,
+				"unknown state %q (valid: queued, running, done, failed, cancelled)", v)
+			return
+		}
+	}
+	limit := defaultListLimit
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			writeError(w, http.StatusBadRequest, CodeBadRequest, "limit %q must be a positive integer", v)
+			return
+		}
+		limit = min(n, maxListLimit)
+	}
+	after := ""
+	if v := q.Get("cursor"); v != "" {
+		id, err := decodeCursor(v)
+		if err != nil {
+			s.writeAPIError(w, err)
+			return
+		}
+		after = id
+	}
+
+	out := make([]runListItem, 0, limit)
+	more := false
+	for _, run := range s.mgr.Registry().List() {
+		if run.ID <= after {
+			continue
+		}
 		st, _, _ := run.Snapshot()
+		if stateFilter != "" && st.State != stateFilter {
+			continue
+		}
+		if len(out) == limit {
+			more = true
+			break
+		}
 		out = append(out, runListItem{
 			ID: st.ID, Key: st.Key, State: st.State,
 			Dataset: st.Request.Dataset, Method: st.Request.Method, Scale: st.Request.Scale,
 			TrialsDone: st.TrialsDone, Trials: st.TrialsTotal,
 		})
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"runs": out})
+	resp := map[string]any{"runs": out}
+	if more {
+		resp["next_cursor"] = encodeCursor(out[len(out)-1].ID)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleMethods implements GET /v1/methods: the canonical method catalogue —
+// names, aliases, descriptions, and which Settings knobs each method reads —
+// so external drivers discover what they can put in a session or run request
+// without hardcoding the registry.
+func (s *Server) handleMethods(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"methods": hpo.MethodInfos()})
 }
 
 // handleRun implements GET /v1/runs/{id}. Terminal runs serve their cached
@@ -187,7 +271,7 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	run, ok := s.mgr.Registry().Get(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, "no run %q (expired or never submitted)", r.PathValue("id"))
+		writeError(w, http.StatusNotFound, CodeNotFound, "no run %q (expired or never submitted)", r.PathValue("id"))
 		return
 	}
 	st, body, etag := run.Snapshot()
@@ -216,7 +300,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	run, ok := s.mgr.Registry().Get(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, "no run %q (expired or never submitted)", r.PathValue("id"))
+		writeError(w, http.StatusNotFound, CodeNotFound, "no run %q (expired or never submitted)", r.PathValue("id"))
 		return
 	}
 	// Resume cursor: replay only events with Seq > Last-Event-ID. Absent or
@@ -294,7 +378,7 @@ func (s *Server) handleBanks(w http.ResponseWriter, r *http.Request) {
 	}
 	entries, err := store.Entries()
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, "list banks: %v", err)
+		writeError(w, http.StatusInternalServerError, CodeInternal, "list banks: %v", err)
 		return
 	}
 	out := make([]bankEntry, 0, len(entries))
@@ -343,6 +427,9 @@ func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {
 	setInt("runs_active", c.RunsActive)
 	setInt("runs_queued", c.RunsQueued)
 	setInt("runs_retained", c.RunsRetained)
+	setInt("sessions_open", c.SessionsOpen)
+	setInt("sessions_opened", c.SessionsOpened)
+	setInt("sessions_reaped", c.SessionsReaped)
 	st := s.mgr.Store().Stats() // nil-safe: zero stats without a store
 	setInt("bank_cache_hits", st.Hits)
 	setInt("bank_cache_misses", st.Misses)

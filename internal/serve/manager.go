@@ -41,6 +41,12 @@ type Options struct {
 	// TTL is how long terminal runs stay fetchable and dedupable
 	// (0 = default 15m; negative = retain forever).
 	TTL time.Duration
+	// SessionIdleTTL reaps ask/tell sessions untouched for this long
+	// (0 = DefaultSessionIdleTTL; negative = never reap).
+	SessionIdleTTL time.Duration
+	// MaxSessions bounds concurrently retained sessions
+	// (0 = DefaultMaxSessions).
+	MaxSessions int
 	// Scales maps scale name → suite configuration
 	// (default {"quick": exper.Quick(), "full": exper.Default()}).
 	Scales map[string]exper.Config
@@ -62,6 +68,10 @@ type Counters struct {
 	RunsActive    int64 `json:"runs_active"`
 	RunsQueued    int64 `json:"runs_queued"`
 	RunsRetained  int64 `json:"runs_retained"`
+
+	SessionsOpen   int64 `json:"sessions_open"`
+	SessionsOpened int64 `json:"sessions_opened"`
+	SessionsReaped int64 `json:"sessions_reaped"`
 }
 
 // Manager owns the run lifecycle: it validates and keys submissions,
@@ -71,8 +81,9 @@ type Counters struct {
 // turn share Options.Store, whose singleflight GetOrBuild collapses
 // concurrent bank builds across runs.
 type Manager struct {
-	opts Options
-	reg  *Registry
+	opts     Options
+	reg      *Registry
+	sessions *SessionRegistry
 
 	queue chan *Run
 	wg    sync.WaitGroup // worker goroutines
@@ -98,6 +109,9 @@ func NewManager(opts Options) *Manager {
 	if opts.TTL == 0 {
 		opts.TTL = 15 * time.Minute
 	}
+	if opts.SessionIdleTTL == 0 {
+		opts.SessionIdleTTL = DefaultSessionIdleTTL
+	}
 	if opts.Scales == nil {
 		opts.Scales = map[string]exper.Config{
 			"quick": exper.Quick(),
@@ -107,6 +121,7 @@ func NewManager(opts Options) *Manager {
 	m := &Manager{
 		opts:        opts,
 		reg:         NewRegistry(opts.TTL),
+		sessions:    NewSessionRegistry(opts.SessionIdleTTL, opts.MaxSessions),
 		queue:       make(chan *Run, opts.QueueDepth),
 		suites:      map[string]*exper.Suite{},
 		janitorStop: make(chan struct{}),
@@ -121,6 +136,9 @@ func NewManager(opts Options) *Manager {
 
 // Registry exposes the run store (handlers read it).
 func (m *Manager) Registry() *Registry { return m.reg }
+
+// Sessions exposes the session store (handlers read it).
+func (m *Manager) Sessions() *SessionRegistry { return m.sessions }
 
 // Store returns the shared bank cache (nil when none).
 func (m *Manager) Store() *core.BankStore { return m.opts.Store }
@@ -184,12 +202,14 @@ func (m *Manager) RetryAfterSeconds() int {
 // or ErrShuttingDown.
 func (m *Manager) Submit(req RunRequest) (run *Run, created bool, err error) {
 	req.Normalize()
+	// %w on both operands: the HTTP layer branches on ErrBadRequest for the
+	// status family and on the inner apiError for the envelope code.
 	if err := req.Validate(m.ScaleNames()); err != nil {
-		return nil, false, fmt.Errorf("%w: %v", ErrBadRequest, err)
+		return nil, false, fmt.Errorf("%w: %w", ErrBadRequest, err)
 	}
 	treq, err := req.TuneRequest()
 	if err != nil {
-		return nil, false, fmt.Errorf("%w: %v", ErrBadRequest, err)
+		return nil, false, fmt.Errorf("%w: %w", ErrBadRequest, codef(CodeUnknownMethod, "%v", err))
 	}
 	suite, err := m.suiteFor(req.Scale)
 	if err != nil {
@@ -286,6 +306,7 @@ func (m *Manager) janitor() {
 		select {
 		case <-t.C:
 			m.reg.Sweep()
+			m.sessions.Sweep()
 		case <-m.janitorStop:
 			return
 		}
@@ -303,6 +324,10 @@ func (m *Manager) Counters() Counters {
 		RunsActive:    m.active.Load(),
 		RunsQueued:    m.queued.Load(),
 		RunsRetained:  int64(m.reg.Len()),
+
+		SessionsOpen:   int64(m.sessions.Len()),
+		SessionsOpened: m.sessions.Opened(),
+		SessionsReaped: m.sessions.Reaped(),
 	}
 }
 
@@ -332,6 +357,9 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 		close(m.janitorStop)
 		m.drainDone = make(chan struct{})
 		go func(done chan struct{}) {
+			// Sessions close first: each Close waits for its driver
+			// goroutine, so after drain nothing references the suites.
+			m.sessions.CloseAll()
 			m.wg.Wait()
 			close(done)
 		}(m.drainDone)

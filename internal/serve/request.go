@@ -11,7 +11,6 @@
 package serve
 
 import (
-	"fmt"
 	"strings"
 
 	"noisyeval/internal/core"
@@ -56,6 +55,27 @@ func (n NoiseRequest) Noise() core.Noise {
 	}
 }
 
+// validate reports the first out-of-range noise field as a coded apiError
+// (shared by run and session validation).
+func (n NoiseRequest) validate() error {
+	if n.SampleCount < 0 {
+		return codef(CodeInvalidNoise, "noise.sample_count %d must be ≥ 0", n.SampleCount)
+	}
+	if n.SampleFraction < 0 || n.SampleFraction > 1 {
+		return codef(CodeInvalidNoise, "noise.sample_fraction %g outside [0, 1]", n.SampleFraction)
+	}
+	if n.Bias < 0 {
+		return codef(CodeInvalidNoise, "noise.bias %g must be ≥ 0", n.Bias)
+	}
+	if n.Epsilon < 0 {
+		return codef(CodeInvalidNoise, "noise.epsilon %g must be ≥ 0", n.Epsilon)
+	}
+	// HeterogeneityP is validated downstream against the partitions the
+	// suite's banks actually record — one source of truth; the manager
+	// surfaces that failure as a 400 too.
+	return nil
+}
+
 // RunRequest is the body of POST /v1/runs: one tuning job.
 type RunRequest struct {
 	// Dataset is one of exper.DatasetNames.
@@ -96,45 +116,23 @@ func (r *RunRequest) Normalize() {
 	}
 }
 
-// Validate reports the first problem with a normalized request; scales lists
-// the scale names the serving manager accepts. A nil error means the request
-// can be keyed and executed.
+// Validate reports the first problem with a normalized request as a coded
+// apiError; scales lists the scale names the serving manager accepts. A nil
+// error means the request can be keyed and executed.
 func (r RunRequest) Validate(scales []string) error {
 	if !exper.KnownDataset(r.Dataset) {
-		return fmt.Errorf("unknown dataset %q (valid: %s)", r.Dataset, strings.Join(exper.DatasetNames, ", "))
+		return codef(CodeUnknownDataset, "unknown dataset %q (valid: %s)", r.Dataset, strings.Join(exper.DatasetNames, ", "))
 	}
 	if _, err := hpo.MethodByName(r.Method); err != nil {
-		return fmt.Errorf("unknown method %q (valid: %s)", r.Method, strings.Join(hpo.Methods(), ", "))
+		return codef(CodeUnknownMethod, "unknown method %q (valid: %s)", r.Method, strings.Join(hpo.Methods(), ", "))
 	}
-	scaleOK := false
-	for _, s := range scales {
-		if s == r.Scale {
-			scaleOK = true
-		}
-	}
-	if !scaleOK {
-		return fmt.Errorf("unknown scale %q (valid: %s)", r.Scale, strings.Join(scales, ", "))
+	if !scaleKnown(r.Scale, scales) {
+		return codef(CodeUnknownScale, "unknown scale %q (valid: %s)", r.Scale, strings.Join(scales, ", "))
 	}
 	if r.Trials < 1 || r.Trials > MaxTrials {
-		return fmt.Errorf("trials %d outside [1, %d]", r.Trials, MaxTrials)
+		return codef(CodeInvalidTrials, "trials %d outside [1, %d]", r.Trials, MaxTrials)
 	}
-	n := r.Noise
-	if n.SampleCount < 0 {
-		return fmt.Errorf("noise.sample_count %d must be ≥ 0", n.SampleCount)
-	}
-	if n.SampleFraction < 0 || n.SampleFraction > 1 {
-		return fmt.Errorf("noise.sample_fraction %g outside [0, 1]", n.SampleFraction)
-	}
-	if n.Bias < 0 {
-		return fmt.Errorf("noise.bias %g must be ≥ 0", n.Bias)
-	}
-	if n.Epsilon < 0 {
-		return fmt.Errorf("noise.epsilon %g must be ≥ 0", n.Epsilon)
-	}
-	// HeterogeneityP is validated downstream by exper.validateTune against
-	// the partitions the suite's banks actually record — one source of
-	// truth; the manager surfaces that failure as a 400 too.
-	return nil
+	return r.Noise.validate()
 }
 
 // TuneRequest converts the (normalized, validated) request to the exper

@@ -324,17 +324,17 @@ func TestConcurrentIdenticalSubmissionsCollapse(t *testing.T) {
 func TestBadRequests(t *testing.T) {
 	ts := newTestServer(t, Options{})
 	cases := []struct {
-		name, body, want string
+		name, body, code, want string
 	}{
-		{"malformed JSON", `{"dataset":`, "decode"},
-		{"unknown field", `{"dataset":"cifar10","method":"rs","nope":1}`, "nope"},
-		{"unknown dataset", `{"dataset":"mnist","method":"rs"}`, "unknown dataset"},
-		{"unknown method", `{"dataset":"cifar10","method":"sgd"}`, "rs"},
-		{"unknown scale", `{"dataset":"cifar10","method":"rs","scale":"galactic"}`, "unknown scale"},
-		{"negative trials", `{"dataset":"cifar10","method":"rs","trials":-2}`, "trials"},
-		{"excess trials", fmt.Sprintf(`{"dataset":"cifar10","method":"rs","trials":%d}`, MaxTrials+1), "trials"},
-		{"bad fraction", `{"dataset":"cifar10","method":"rs","noise":{"sample_fraction":1.5}}`, "sample_fraction"},
-		{"bad partition", `{"dataset":"cifar10","method":"rs","noise":{"heterogeneity_p":0.3}}`, "heterogeneity p=0.3"},
+		{"malformed JSON", `{"dataset":`, CodeBadRequest, "decode"},
+		{"unknown field", `{"dataset":"cifar10","method":"rs","nope":1}`, CodeBadRequest, "nope"},
+		{"unknown dataset", `{"dataset":"mnist","method":"rs"}`, CodeUnknownDataset, "unknown dataset"},
+		{"unknown method", `{"dataset":"cifar10","method":"sgd"}`, CodeUnknownMethod, "rs"},
+		{"unknown scale", `{"dataset":"cifar10","method":"rs","scale":"galactic"}`, CodeUnknownScale, "unknown scale"},
+		{"negative trials", `{"dataset":"cifar10","method":"rs","trials":-2}`, CodeInvalidTrials, "trials"},
+		{"excess trials", fmt.Sprintf(`{"dataset":"cifar10","method":"rs","trials":%d}`, MaxTrials+1), CodeInvalidTrials, "trials"},
+		{"bad fraction", `{"dataset":"cifar10","method":"rs","noise":{"sample_fraction":1.5}}`, CodeInvalidNoise, "sample_fraction"},
+		{"bad partition", `{"dataset":"cifar10","method":"rs","noise":{"heterogeneity_p":0.3}}`, CodeBadRequest, "heterogeneity p=0.3"},
 	}
 	for _, tc := range cases {
 		resp, _ := ts.submit(t, tc.body)
@@ -343,9 +343,12 @@ func TestBadRequests(t *testing.T) {
 			continue
 		}
 		raw, _ := io.ReadAll(resp.Body)
-		var eb errorBody
-		if err := json.Unmarshal(raw, &eb); err != nil || !strings.Contains(eb.Error, tc.want) {
+		var eb errorEnvelope
+		if err := json.Unmarshal(raw, &eb); err != nil || !strings.Contains(eb.Error.Message, tc.want) {
 			t.Errorf("%s: error body %q does not mention %q", tc.name, raw, tc.want)
+		}
+		if eb.Error.Code != tc.code {
+			t.Errorf("%s: error code = %q, want %q", tc.name, eb.Error.Code, tc.code)
 		}
 	}
 	if got := ts.mgr.Counters().RunsStarted; got != 0 {

@@ -1,0 +1,431 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// doJSON issues one request and decodes the response into out (when non-nil
+// and the status is 2xx) or into an errorEnvelope returned alongside.
+func (ts *testServer) doJSON(t *testing.T, method, path, body string, out any) (int, errorEnvelope) {
+	t.Helper()
+	var rd io.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	}
+	req, err := http.NewRequest(method, ts.URL+path, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body != "" {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode >= 300 {
+		var env errorEnvelope
+		if err := json.Unmarshal(raw, &env); err != nil {
+			t.Fatalf("%s %s: status %d with non-envelope body %q", method, path, resp.StatusCode, raw)
+		}
+		return resp.StatusCode, env
+	}
+	if out != nil {
+		if err := json.Unmarshal(raw, out); err != nil {
+			t.Fatalf("%s %s: decode %q: %v", method, path, raw, err)
+		}
+	}
+	return resp.StatusCode, errorEnvelope{}
+}
+
+// driveSession asks and server-evaluates until the method finishes,
+// returning the completed status. maxSteps guards against a method that
+// never finishes.
+func (ts *testServer) driveSession(t *testing.T, id string, maxSteps int) SessionStatus {
+	t.Helper()
+	for i := 0; i < maxSteps; i++ {
+		var ask AskResponse
+		if code, env := ts.doJSON(t, "POST", "/v1/sessions/"+id+"/ask", "", &ask); code != http.StatusOK {
+			t.Fatalf("ask %d: status %d (%s: %s)", i, code, env.Error.Code, env.Error.Message)
+		}
+		if ask.Done {
+			var st SessionStatus
+			if code, env := ts.doJSON(t, "GET", "/v1/sessions/"+id, "", &st); code != http.StatusOK {
+				t.Fatalf("get: status %d (%s)", code, env.Error.Code)
+			}
+			return st
+		}
+		body := fmt.Sprintf(`{"answers":[{"ask_id":%d}]}`, ask.Asks[0].ID)
+		var tell TellResponse
+		if code, env := ts.doJSON(t, "POST", "/v1/sessions/"+id+"/tell", body, &tell); code != http.StatusOK {
+			t.Fatalf("tell %d: status %d (%s: %s)", i, code, env.Error.Code, env.Error.Message)
+		}
+	}
+	t.Fatalf("session %s did not finish in %d steps", id, maxSteps)
+	return SessionStatus{}
+}
+
+// TestSessionParityWithRun pins the tentpole contract: an external client
+// driving a session's ask/tell loop — answering every ask with the server's
+// own bank evaluation — lands on exactly the recommendation the server-driven
+// /v1/runs path computes for the same (dataset, method, noise, seed, trial).
+func TestSessionParityWithRun(t *testing.T) {
+	ts := newTestServer(t, Options{})
+	for _, method := range []string{"rs", "sha"} {
+		t.Run(method, func(t *testing.T) {
+			body := fmt.Sprintf(`{"dataset":"cifar10","method":%q,"trials":1,"seed":5,"noise":{"sample_count":2}}`, method)
+			_, st := ts.submit(t, body)
+			ts.streamEvents(t, st.ID)
+			_, raw := ts.getRun(t, st.ID, nil)
+			var runSt RunStatus
+			if err := json.Unmarshal(raw, &runSt); err != nil {
+				t.Fatal(err)
+			}
+			if runSt.State != StateDone || runSt.Result == nil || runSt.Result.Best == nil {
+				t.Fatalf("run did not finish with a best: %+v", runSt)
+			}
+
+			var sess SessionStatus
+			sbody := fmt.Sprintf(`{"dataset":"cifar10","method":%q,"seed":5,"noise":{"sample_count":2}}`, method)
+			if code, env := ts.doJSON(t, "POST", "/v1/sessions", sbody, &sess); code != http.StatusCreated {
+				t.Fatalf("open: status %d (%s: %s)", code, env.Error.Code, env.Error.Message)
+			}
+			final := ts.driveSession(t, sess.ID, 500)
+			if final.State != SessionDone {
+				t.Fatalf("session state = %s (error %q), want done", final.State, final.Error)
+			}
+			if final.Best == nil {
+				t.Fatal("done session has no best")
+			}
+			want := runSt.Result.Best
+			if final.Best.Config != want.Config || final.Best.Rounds != want.Rounds || final.Best.TrueErr != want.TrueErr {
+				t.Errorf("session best = %+v, run best = %+v", *final.Best, *want)
+			}
+			if final.BankKey != runSt.Result.BankKey {
+				t.Errorf("session bank key %q != run bank key %q", final.BankKey, runSt.Result.BankKey)
+			}
+		})
+	}
+}
+
+// TestSessionExternalEvaluate pins the external-optimizer path: evaluation by
+// pool index and by snapped parameter vector, cohort determinism, incremental
+// budget accounting, and budget exhaustion.
+func TestSessionExternalEvaluate(t *testing.T) {
+	ts := newTestServer(t, Options{})
+	var sess SessionStatus
+	if code, env := ts.doJSON(t, "POST", "/v1/sessions", `{"dataset":"cifar10","seed":3,"noise":{"sample_count":2}}`, &sess); code != http.StatusCreated {
+		t.Fatalf("open: status %d (%s)", code, env.Error.Code)
+	}
+	if !sess.External || sess.PoolSize == 0 || sess.MaxRounds == 0 {
+		t.Fatalf("external session geometry: %+v", sess)
+	}
+
+	// Same (index, rounds, eval_id) twice → identical observation, but the
+	// second evaluation is budget-free (the checkpoint is already paid for).
+	eval := func(body string) TellResponse {
+		t.Helper()
+		var resp TellResponse
+		if code, env := ts.doJSON(t, "POST", "/v1/sessions/"+sess.ID+"/tell", body, &resp); code != http.StatusOK {
+			t.Fatalf("tell %s: status %d (%s: %s)", body, code, env.Error.Code, env.Error.Message)
+		}
+		return resp
+	}
+	r1 := eval(`{"evaluate":[{"config_index":0,"rounds":9,"eval_id":"c"}]}`)
+	r2 := eval(`{"evaluate":[{"config_index":0,"rounds":9,"eval_id":"c"}]}`)
+	if r1.Results[0].Observed != r2.Results[0].Observed {
+		t.Errorf("same cohort observed %v then %v", r1.Results[0].Observed, r2.Results[0].Observed)
+	}
+	if r1.SpentRounds != 9 || r2.SpentRounds != 9 {
+		t.Errorf("spent = %d then %d, want 9 then 9 (incremental)", r1.SpentRounds, r2.SpentRounds)
+	}
+
+	// A parameter vector equal to a pool member snaps to its index.
+	cfg, _ := json.Marshal(r1.Results[0].Config)
+	rv := eval(fmt.Sprintf(`{"evaluate":[{"config":%s,"rounds":9}]}`, cfg))
+	if rv.Results[0].ConfigIndex != 0 {
+		t.Errorf("vector snapped to index %d, want 0", rv.Results[0].ConfigIndex)
+	}
+
+	// Burn the remaining budget, then expect budget_exhausted.
+	budget := sess.BudgetRounds
+	for ci := 1; ; ci++ {
+		var resp TellResponse
+		code, env := ts.doJSON(t, "POST", "/v1/sessions/"+sess.ID+"/tell",
+			fmt.Sprintf(`{"evaluate":[{"config_index":%d}]}`, ci%sess.PoolSize), &resp)
+		if code == http.StatusOK {
+			if resp.SpentRounds > budget {
+				t.Fatalf("spent %d exceeded budget %d", resp.SpentRounds, budget)
+			}
+			continue
+		}
+		if code != http.StatusConflict || env.Error.Code != CodeBudgetExhausted {
+			t.Fatalf("exhaustion: status %d code %s, want 409 %s", code, env.Error.Code, CodeBudgetExhausted)
+		}
+		break
+	}
+}
+
+// TestSessionErrorPaths is the table-driven sweep over the session API's
+// coded failures.
+func TestSessionErrorPaths(t *testing.T) {
+	ts := newTestServer(t, Options{})
+	var ext SessionStatus
+	if code, _ := ts.doJSON(t, "POST", "/v1/sessions", `{"dataset":"cifar10","noise":{"sample_count":2}}`, &ext); code != http.StatusCreated {
+		t.Fatalf("open external: %d", code)
+	}
+	var driven SessionStatus
+	if code, _ := ts.doJSON(t, "POST", "/v1/sessions", `{"dataset":"cifar10","method":"rs","noise":{"sample_count":2}}`, &driven); code != http.StatusCreated {
+		t.Fatalf("open driven: %d", code)
+	}
+
+	cases := []struct {
+		name, method, path, body string
+		status                   int
+		code                     string
+	}{
+		{"unknown dataset", "POST", "/v1/sessions", `{"dataset":"mnist"}`, 400, CodeUnknownDataset},
+		{"unknown method", "POST", "/v1/sessions", `{"dataset":"cifar10","method":"sgd"}`, 400, CodeUnknownMethod},
+		{"unknown scale", "POST", "/v1/sessions", `{"dataset":"cifar10","scale":"galactic"}`, 400, CodeUnknownScale},
+		{"negative trial", "POST", "/v1/sessions", `{"dataset":"cifar10","trial":-1}`, 400, CodeInvalidTrials},
+		{"bad noise", "POST", "/v1/sessions", `{"dataset":"cifar10","noise":{"epsilon":-1}}`, 400, CodeInvalidNoise},
+		{"malformed JSON", "POST", "/v1/sessions", `{"dataset":`, 400, CodeBadRequest},
+		{"missing session", "GET", "/v1/sessions/sess-999999", "", 404, CodeNotFound},
+		{"ask on external", "POST", "/v1/sessions/" + ext.ID + "/ask", "", 400, CodeExternalSession},
+		{"answers on external", "POST", "/v1/sessions/" + ext.ID + "/tell", `{"answers":[{"ask_id":0}]}`, 400, CodeExternalSession},
+		{"empty tell", "POST", "/v1/sessions/" + ext.ID + "/tell", `{}`, 400, CodeBadRequest},
+		{"tell before ask", "POST", "/v1/sessions/" + driven.ID + "/tell", `{"answers":[{"ask_id":0}]}`, 400, CodeNoPendingAsk},
+		{"index and vector", "POST", "/v1/sessions/" + ext.ID + "/tell", `{"evaluate":[{"config_index":0,"config":{}}]}`, 400, CodeBadRequest},
+		{"index out of range", "POST", "/v1/sessions/" + ext.ID + "/tell", `{"evaluate":[{"config_index":9999}]}`, 400, CodeBadRequest},
+		{"neither index nor vector", "POST", "/v1/sessions/" + ext.ID + "/tell", `{"evaluate":[{}]}`, 400, CodeBadRequest},
+		{"rounds out of range", "POST", "/v1/sessions/" + ext.ID + "/tell", `{"evaluate":[{"config_index":0,"rounds":-3}]}`, 400, CodeBadRequest},
+	}
+	for _, tc := range cases {
+		code, env := ts.doJSON(t, tc.method, tc.path, tc.body, nil)
+		if code != tc.status || env.Error.Code != tc.code {
+			t.Errorf("%s: got %d %q, want %d %q (%s)", tc.name, code, env.Error.Code, tc.status, tc.code, env.Error.Message)
+		}
+		if env.Error.Message == "" {
+			t.Errorf("%s: empty error message", tc.name)
+		}
+	}
+
+	// ask_mismatch needs a live pending ask.
+	var ask AskResponse
+	if code, _ := ts.doJSON(t, "POST", "/v1/sessions/"+driven.ID+"/ask", "", &ask); code != 200 {
+		t.Fatalf("ask: %d", code)
+	}
+	if code, env := ts.doJSON(t, "POST", "/v1/sessions/"+driven.ID+"/tell",
+		fmt.Sprintf(`{"answers":[{"ask_id":%d}]}`, ask.Asks[0].ID+7), nil); code != 400 || env.Error.Code != CodeAskMismatch {
+		t.Errorf("ask mismatch: got %d %q", code, env.Error.Code)
+	}
+
+	// Terminal sessions reject ask and tell with 409 session_terminal.
+	if code, _ := ts.doJSON(t, "DELETE", "/v1/sessions/"+ext.ID, "", nil); code != 200 {
+		t.Fatalf("close: %d", code)
+	}
+	if code, env := ts.doJSON(t, "GET", "/v1/sessions/"+ext.ID, "", nil); code != 404 || env.Error.Code != CodeNotFound {
+		t.Errorf("closed session GET: %d %q", code, env.Error.Code)
+	}
+}
+
+// TestSessionCloseAndCapacity covers DELETE semantics and the MaxSessions
+// bound with its too_many_sessions rejection.
+func TestSessionCloseAndCapacity(t *testing.T) {
+	ts := newTestServer(t, Options{MaxSessions: 2})
+	open := func() (SessionStatus, int, errorEnvelope) {
+		var s SessionStatus
+		code, env := ts.doJSON(t, "POST", "/v1/sessions", `{"dataset":"cifar10","method":"rs","noise":{"sample_count":2}}`, &s)
+		return s, code, env
+	}
+	a, code, _ := open()
+	if code != http.StatusCreated {
+		t.Fatalf("open a: %d", code)
+	}
+	if _, code, _ = open(); code != http.StatusCreated {
+		t.Fatalf("open b: %d", code)
+	}
+	if _, code, env := open(); code != http.StatusServiceUnavailable || env.Error.Code != CodeTooManySessions {
+		t.Fatalf("open c: got %d %q, want 503 %s", code, env.Error.Code, CodeTooManySessions)
+	}
+	var closed SessionStatus
+	if code, _ := ts.doJSON(t, "DELETE", "/v1/sessions/"+a.ID, "", &closed); code != 200 {
+		t.Fatalf("close a: %d", code)
+	}
+	if closed.State != SessionClosed {
+		t.Errorf("closed state = %s", closed.State)
+	}
+	if _, code, _ = open(); code != http.StatusCreated {
+		t.Fatalf("open after close: %d", code)
+	}
+}
+
+// TestSessionIdleReaping drives the reaper on an injected clock: a session
+// idle past the TTL is swept — its driver goroutine shut down — while a
+// recently touched one survives. A mid-run ask on the reaped session answers
+// 404, and the sweep happens with the driver blocked in its channel
+// handshake (the case -race guards).
+func TestSessionIdleReaping(t *testing.T) {
+	ts := newTestServer(t, Options{SessionIdleTTL: time.Minute})
+	now := time.Now()
+	ts.mgr.Sessions().now = func() time.Time { return now }
+
+	var idle, busy SessionStatus
+	if code, _ := ts.doJSON(t, "POST", "/v1/sessions", `{"dataset":"cifar10","method":"rs","noise":{"sample_count":2}}`, &idle); code != 201 {
+		t.Fatalf("open idle: %d", code)
+	}
+	// Leave idle's method parked mid-handshake on a pending ask.
+	var ask AskResponse
+	if code, _ := ts.doJSON(t, "POST", "/v1/sessions/"+idle.ID+"/ask", "", &ask); code != 200 {
+		t.Fatalf("ask: %d", code)
+	}
+	if code, _ := ts.doJSON(t, "POST", "/v1/sessions", `{"dataset":"cifar10","method":"sha","noise":{"sample_count":2}}`, &busy); code != 201 {
+		t.Fatalf("open busy: %d", code)
+	}
+
+	now = now.Add(45 * time.Second)
+	ts.mgr.Sessions().Get(busy.ID) // touch busy at +45s
+	now = now.Add(30 * time.Second)
+	ts.mgr.Sessions().Sweep() // idle last touched 75s ago, busy 30s ago
+
+	if got := ts.mgr.Sessions().Len(); got != 1 {
+		t.Fatalf("after sweep: %d sessions retained, want 1", got)
+	}
+	if got := ts.mgr.Sessions().Reaped(); got != 1 {
+		t.Errorf("reaped = %d, want 1", got)
+	}
+	if code, env := ts.doJSON(t, "GET", "/v1/sessions/"+idle.ID, "", nil); code != 404 || env.Error.Code != CodeNotFound {
+		t.Errorf("reaped session GET: %d %q", code, env.Error.Code)
+	}
+	if code, _ := ts.doJSON(t, "GET", "/v1/sessions/"+busy.ID, "", nil); code != 200 {
+		t.Errorf("surviving session GET: %d", code)
+	}
+
+	// Expiry is also enforced on lookup, without a sweep.
+	now = now.Add(2 * time.Minute)
+	if code, _ := ts.doJSON(t, "GET", "/v1/sessions/"+busy.ID, "", nil); code != 404 {
+		t.Errorf("expired-on-read session GET: %d", code)
+	}
+}
+
+// TestSessionList covers GET /v1/sessions rows.
+func TestSessionList(t *testing.T) {
+	ts := newTestServer(t, Options{})
+	var a SessionStatus
+	if code, _ := ts.doJSON(t, "POST", "/v1/sessions", `{"dataset":"cifar10","method":"fedpop","noise":{"sample_count":2}}`, &a); code != 201 {
+		t.Fatalf("open: %d", code)
+	}
+	var list struct {
+		Sessions []sessionListItem `json:"sessions"`
+	}
+	if code, _ := ts.doJSON(t, "GET", "/v1/sessions", "", &list); code != 200 {
+		t.Fatalf("list: %d", code)
+	}
+	if len(list.Sessions) != 1 || list.Sessions[0].ID != a.ID || list.Sessions[0].Method != "fedpop" {
+		t.Errorf("list = %+v", list.Sessions)
+	}
+}
+
+// TestMethodsEndpoint pins the catalogue: every registered method appears
+// with a display name, and fedpop — this PR's addition — is reachable.
+func TestMethodsEndpoint(t *testing.T) {
+	ts := newTestServer(t, Options{})
+	var resp struct {
+		Methods []struct {
+			Name        string            `json:"name"`
+			Display     string            `json:"display"`
+			Aliases     []string          `json:"aliases,omitempty"`
+			Description string            `json:"description"`
+			Settings    map[string]string `json:"settings,omitempty"`
+		} `json:"methods"`
+	}
+	if code, _ := ts.doJSON(t, "GET", "/v1/methods", "", &resp); code != 200 {
+		t.Fatalf("methods: %d", code)
+	}
+	byName := map[string]bool{}
+	for _, m := range resp.Methods {
+		byName[m.Name] = true
+		if m.Display == "" || m.Description == "" {
+			t.Errorf("method %q missing display/description", m.Name)
+		}
+	}
+	for _, want := range []string{"rs", "sha", "hb", "tpe", "fedpop"} {
+		if !byName[want] {
+			t.Errorf("catalogue missing %q", want)
+		}
+	}
+}
+
+// TestListPagination covers ?limit/?cursor/?state on GET /v1/runs.
+func TestListPagination(t *testing.T) {
+	ts := newTestServer(t, Options{})
+	var ids []string
+	for seed := 1; seed <= 5; seed++ {
+		_, st := ts.submit(t, fmt.Sprintf(`{"dataset":"cifar10","method":"rs","trials":1,"seed":%d,"noise":{"sample_count":2}}`, seed))
+		ts.streamEvents(t, st.ID)
+		ids = append(ids, st.ID)
+	}
+
+	type listResp struct {
+		Runs       []runListItem `json:"runs"`
+		NextCursor string        `json:"next_cursor"`
+	}
+	var got []string
+	cursor := ""
+	for page := 0; ; page++ {
+		path := "/v1/runs?limit=2"
+		if cursor != "" {
+			path += "&cursor=" + cursor
+		}
+		var lr listResp
+		if code, _ := ts.doJSON(t, "GET", path, "", &lr); code != 200 {
+			t.Fatalf("page %d: %d", page, code)
+		}
+		if len(lr.Runs) > 2 {
+			t.Fatalf("page %d: %d rows exceeds limit", page, len(lr.Runs))
+		}
+		for _, r := range lr.Runs {
+			got = append(got, r.ID)
+		}
+		if lr.NextCursor == "" {
+			break
+		}
+		cursor = lr.NextCursor
+		if page > 5 {
+			t.Fatal("cursor never terminated")
+		}
+	}
+	if fmt.Sprint(got) != fmt.Sprint(ids) {
+		t.Errorf("paged walk = %v, want %v", got, ids)
+	}
+
+	var all listResp
+	if code, _ := ts.doJSON(t, "GET", "/v1/runs?state=done", "", &all); code != 200 {
+		t.Fatal("state filter failed")
+	}
+	if len(all.Runs) != 5 {
+		t.Errorf("state=done rows = %d, want 5", len(all.Runs))
+	}
+	var none listResp
+	if code, _ := ts.doJSON(t, "GET", "/v1/runs?state=failed", "", &none); code != 200 || len(none.Runs) != 0 {
+		t.Errorf("state=failed rows = %d, want 0", len(none.Runs))
+	}
+
+	if code, env := ts.doJSON(t, "GET", "/v1/runs?state=bogus", "", nil); code != 400 || env.Error.Code != CodeInvalidState {
+		t.Errorf("bad state: %d %q", code, env.Error.Code)
+	}
+	if code, env := ts.doJSON(t, "GET", "/v1/runs?cursor=%21%21", "", nil); code != 400 || env.Error.Code != CodeInvalidCursor {
+		t.Errorf("bad cursor: %d %q", code, env.Error.Code)
+	}
+	if code, env := ts.doJSON(t, "GET", "/v1/runs?limit=0", "", nil); code != 400 || env.Error.Code != CodeBadRequest {
+		t.Errorf("bad limit: %d %q", code, env.Error.Code)
+	}
+}

@@ -92,7 +92,8 @@ type (
 	Observation = hpo.Observation
 
 	// RandomSearch, GridSearch, TPE, SuccessiveHalving, Hyperband, BOHB,
-	// ResampledRS, and OneShotProxyRS are the tuning methods of the study.
+	// ResampledRS, and OneShotProxyRS are the tuning methods of the study;
+	// FedPop is the population-based evolutionary baseline.
 	RandomSearch      = hpo.RandomSearch
 	GridSearch        = hpo.GridSearch
 	TPE               = hpo.TPE
@@ -102,6 +103,15 @@ type (
 	ResampledRS       = hpo.ResampledRS
 	NoisyBO           = hpo.NoisyBO
 	OneShotProxyRS    = hpo.OneShotProxyRS
+	FedPop            = hpo.FedPop
+
+	// AskTellDriver inverts a Method's control flow: the caller pulls
+	// evaluation requests (Ask) and answers them (Tell) instead of handing
+	// the method a blocking oracle. EvalRequest is one pending ask.
+	AskTellDriver = hpo.AskTellDriver
+	EvalRequest   = hpo.EvalRequest
+	// MethodInfo describes one registry entry (name, aliases, settings hints).
+	MethodInfo = hpo.MethodInfo
 )
 
 // Bank protocol and orchestration.
@@ -168,6 +178,15 @@ var (
 	DefaultBudget   = hpo.DefaultBudget
 	DefaultSettings = hpo.DefaultSettings
 	RungRounds      = hpo.RungRounds
+	// MethodByName resolves a method (canonical name or alias) from the
+	// registry; MethodInfos lists the catalogue. NewAskTellDriver starts a
+	// method under ask/tell control; NearestConfig snaps a raw vector to
+	// its closest pool member under the space's geometry.
+	MethodByName     = hpo.MethodByName
+	MethodInfos      = hpo.MethodInfos
+	NewAskTellDriver = hpo.NewAskTellDriver
+	NearestConfig    = hpo.NearestConfig
+	ErrDriverClosed  = hpo.ErrDriverClosed
 )
 
 // Bank/orchestration constructors.

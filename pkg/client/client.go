@@ -1,0 +1,484 @@
+// Package client is the Go client for the noisyevald v1 API: run
+// submission with event streaming, and ask/tell tuner sessions that open the
+// daemon's bank oracle to external optimizers.
+//
+// The wire types here mirror internal/serve's JSON shapes without importing
+// it, so external programs depend only on this package. Every non-2xx
+// response decodes into *APIError carrying the server's machine-readable
+// error code ({"error":{"code","message"}} envelope).
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+)
+
+// HParams mirrors the server's hyperparameter vector. Fields marshal under
+// their Go names, matching the daemon's encoding of internal/fl.HParams.
+type HParams struct {
+	ServerLR       float64
+	Beta1          float64
+	Beta2          float64
+	LRDecay        float64
+	ClientLR       float64
+	ClientMomentum float64
+	WeightDecay    float64
+	BatchSize      int
+	Epochs         int
+}
+
+// Noise mirrors serve.NoiseRequest.
+type Noise struct {
+	SampleCount    int     `json:"sample_count,omitempty"`
+	SampleFraction float64 `json:"sample_fraction,omitempty"`
+	Bias           float64 `json:"bias,omitempty"`
+	Epsilon        float64 `json:"epsilon,omitempty"`
+	HeterogeneityP float64 `json:"heterogeneity_p,omitempty"`
+	Uniform        bool    `json:"uniform,omitempty"`
+}
+
+// RunRequest mirrors serve.RunRequest (POST /v1/runs).
+type RunRequest struct {
+	Dataset string `json:"dataset"`
+	Method  string `json:"method"`
+	Scale   string `json:"scale,omitempty"`
+	Trials  int    `json:"trials,omitempty"`
+	Seed    uint64 `json:"seed,omitempty"`
+	Noise   Noise  `json:"noise,omitempty"`
+}
+
+// BestConfig mirrors serve.BestConfig.
+type BestConfig struct {
+	Config  HParams `json:"config"`
+	TrueErr float64 `json:"true_err"`
+	Rounds  int     `json:"rounds"`
+}
+
+// RunResult mirrors serve.RunResult.
+type RunResult struct {
+	MedianErr    float64     `json:"median_err"`
+	Q1Err        float64     `json:"q1_err"`
+	Q3Err        float64     `json:"q3_err"`
+	MeanErr      float64     `json:"mean_err"`
+	Finals       []float64   `json:"finals"`
+	BudgetRounds int         `json:"budget_rounds"`
+	BankKey      string      `json:"bank_key"`
+	Best         *BestConfig `json:"best,omitempty"`
+}
+
+// RunStatus mirrors serve.RunStatus (GET /v1/runs/{id}).
+type RunStatus struct {
+	ID          string     `json:"id"`
+	Key         string     `json:"key"`
+	State       string     `json:"state"`
+	Request     RunRequest `json:"request"`
+	CreatedAt   string     `json:"created_at"`
+	StartedAt   string     `json:"started_at,omitempty"`
+	FinishedAt  string     `json:"finished_at,omitempty"`
+	TrialsDone  int        `json:"trials_done"`
+	TrialsTotal int        `json:"trials_total"`
+	Result      *RunResult `json:"result,omitempty"`
+	Error       string     `json:"error,omitempty"`
+}
+
+// Terminal reports whether the run state admits no further transitions.
+func (s RunStatus) Terminal() bool {
+	return s.State == "done" || s.State == "failed" || s.State == "cancelled"
+}
+
+// TrialInfo mirrors serve.TrialInfo.
+type TrialInfo struct {
+	Index     int     `json:"index"`
+	Completed int     `json:"completed"`
+	Total     int     `json:"total"`
+	FinalErr  float64 `json:"final_err"`
+}
+
+// Event mirrors serve.Event (one NDJSON line of the event stream).
+type Event struct {
+	Seq   int        `json:"seq"`
+	Type  string     `json:"type"`
+	State string     `json:"state,omitempty"`
+	Trial *TrialInfo `json:"trial,omitempty"`
+	Error string     `json:"error,omitempty"`
+}
+
+// RunListItem mirrors one row of GET /v1/runs.
+type RunListItem struct {
+	ID         string `json:"id"`
+	Key        string `json:"key"`
+	State      string `json:"state"`
+	Dataset    string `json:"dataset"`
+	Method     string `json:"method"`
+	Scale      string `json:"scale"`
+	TrialsDone int    `json:"trials_done"`
+	Trials     int    `json:"trials_total"`
+}
+
+// RunPage is one page of ListRuns; a non-empty NextCursor resumes the walk.
+type RunPage struct {
+	Runs       []RunListItem `json:"runs"`
+	NextCursor string        `json:"next_cursor"`
+}
+
+// ListRunsOptions filters and paginates ListRuns.
+type ListRunsOptions struct {
+	State  string
+	Limit  int
+	Cursor string
+}
+
+// MethodInfo mirrors one row of GET /v1/methods.
+type MethodInfo struct {
+	Name        string            `json:"name"`
+	Display     string            `json:"display"`
+	Aliases     []string          `json:"aliases,omitempty"`
+	Description string            `json:"description"`
+	Settings    map[string]string `json:"settings,omitempty"`
+}
+
+// SessionRequest mirrors serve.SessionRequest (POST /v1/sessions). An empty
+// or "external" Method opens an externally driven session.
+type SessionRequest struct {
+	Dataset string `json:"dataset"`
+	Method  string `json:"method,omitempty"`
+	Scale   string `json:"scale,omitempty"`
+	Seed    uint64 `json:"seed,omitempty"`
+	Trial   int    `json:"trial,omitempty"`
+	Noise   Noise  `json:"noise,omitempty"`
+}
+
+// SessionTrial mirrors serve.SessionTrial.
+type SessionTrial struct {
+	Index       int     `json:"index"`
+	Source      string  `json:"source"`
+	AskID       *int    `json:"ask_id,omitempty"`
+	ConfigIndex int     `json:"config_index"`
+	Config      HParams `json:"config"`
+	Rounds      int     `json:"rounds"`
+	Observed    float64 `json:"observed"`
+	TrueErr     float64 `json:"true_err"`
+	EvalID      string  `json:"eval_id"`
+}
+
+// SessionStatus mirrors serve.SessionStatus (GET /v1/sessions/{id}).
+type SessionStatus struct {
+	ID           string         `json:"id"`
+	Key          string         `json:"key"`
+	State        string         `json:"state"`
+	Request      SessionRequest `json:"request"`
+	CreatedAt    string         `json:"created_at"`
+	External     bool           `json:"external"`
+	Asked        int            `json:"asked"`
+	Told         int            `json:"told"`
+	Evals        int            `json:"evals"`
+	SpentRounds  int            `json:"spent_rounds"`
+	BudgetRounds int            `json:"budget_rounds"`
+	BankKey      string         `json:"bank_key"`
+	PoolSize     int            `json:"pool_size"`
+	MaxRounds    int            `json:"max_rounds"`
+	Checkpoints  []int          `json:"checkpoints"`
+	Trials       []SessionTrial `json:"trials"`
+	Best         *SessionTrial  `json:"best,omitempty"`
+	Error        string         `json:"error,omitempty"`
+}
+
+// AskItem mirrors serve.AskItem.
+type AskItem struct {
+	ID          int     `json:"id"`
+	ConfigIndex int     `json:"config_index"`
+	Config      HParams `json:"config"`
+	Rounds      int     `json:"rounds"`
+	EvalID      string  `json:"eval_id"`
+}
+
+// AskResponse mirrors serve.AskResponse.
+type AskResponse struct {
+	Asks  []AskItem `json:"asks"`
+	Done  bool      `json:"done"`
+	State string    `json:"state"`
+}
+
+// TellAnswer answers one pending ask; nil Observed asks the server to
+// evaluate the suggestion on its bank oracle.
+type TellAnswer struct {
+	AskID    int      `json:"ask_id"`
+	Observed *float64 `json:"observed,omitempty"`
+}
+
+// TellEval proposes one evaluation by pool index or parameter vector.
+type TellEval struct {
+	ConfigIndex *int     `json:"config_index,omitempty"`
+	Config      *HParams `json:"config,omitempty"`
+	Rounds      int      `json:"rounds,omitempty"`
+	EvalID      string   `json:"eval_id,omitempty"`
+}
+
+// TellRequest mirrors serve.TellRequest.
+type TellRequest struct {
+	Answers  []TellAnswer `json:"answers,omitempty"`
+	Evaluate []TellEval   `json:"evaluate,omitempty"`
+}
+
+// TellResponse mirrors serve.TellResponse.
+type TellResponse struct {
+	Results     []SessionTrial `json:"results"`
+	Done        bool           `json:"done"`
+	State       string         `json:"state"`
+	Best        *SessionTrial  `json:"best,omitempty"`
+	SpentRounds int            `json:"spent_rounds"`
+}
+
+// Health mirrors GET /healthz.
+type Health struct {
+	Status     string `json:"status"`
+	Uptime     string `json:"uptime"`
+	RunsActive int64  `json:"runs_active"`
+	RunsQueued int64  `json:"runs_queued"`
+}
+
+// APIError is a non-2xx response: the HTTP status plus the server's coded
+// envelope. Branch on Code ("unknown_method", "budget_exhausted", ...).
+type APIError struct {
+	Status  int
+	Code    string
+	Message string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("noisyevald: %d %s: %s", e.Status, e.Code, e.Message)
+}
+
+// Client talks to one noisyevald.
+type Client struct {
+	// BaseURL is the daemon root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+// New returns a client for the daemon at baseURL.
+func New(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// do issues one JSON round trip; non-2xx decodes into *APIError.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		raw, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode >= 300 {
+		var env struct {
+			Error struct {
+				Code    string `json:"code"`
+				Message string `json:"message"`
+			} `json:"error"`
+		}
+		if json.Unmarshal(raw, &env) == nil && env.Error.Code != "" {
+			return &APIError{Status: resp.StatusCode, Code: env.Error.Code, Message: env.Error.Message}
+		}
+		return &APIError{Status: resp.StatusCode, Code: "unknown", Message: strings.TrimSpace(string(raw))}
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(raw, out)
+}
+
+// SubmitRun submits a tuning job. A dedup hit returns the absorbed run.
+func (c *Client) SubmitRun(ctx context.Context, req RunRequest) (RunStatus, error) {
+	var st RunStatus
+	err := c.do(ctx, http.MethodPost, "/v1/runs", req, &st)
+	return st, err
+}
+
+// GetRun fetches a run's status/result.
+func (c *Client) GetRun(ctx context.Context, id string) (RunStatus, error) {
+	var st RunStatus
+	err := c.do(ctx, http.MethodGet, "/v1/runs/"+url.PathEscape(id), nil, &st)
+	return st, err
+}
+
+// ListRuns fetches one page of runs.
+func (c *Client) ListRuns(ctx context.Context, opts ListRunsOptions) (RunPage, error) {
+	q := url.Values{}
+	if opts.State != "" {
+		q.Set("state", opts.State)
+	}
+	if opts.Limit > 0 {
+		q.Set("limit", strconv.Itoa(opts.Limit))
+	}
+	if opts.Cursor != "" {
+		q.Set("cursor", opts.Cursor)
+	}
+	path := "/v1/runs"
+	if len(q) > 0 {
+		path += "?" + q.Encode()
+	}
+	var page RunPage
+	err := c.do(ctx, http.MethodGet, path, nil, &page)
+	return page, err
+}
+
+// StreamEvents consumes a run's NDJSON event stream, calling fn per event
+// until the stream ends (terminal event), fn returns an error, or ctx
+// expires. afterSeq > -1 resumes after that sequence number via
+// Last-Event-ID, exactly as a reconnecting SSE client would.
+func (c *Client) StreamEvents(ctx context.Context, id string, afterSeq int, fn func(Event) error) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/runs/"+url.PathEscape(id)+"/events", nil)
+	if err != nil {
+		return err
+	}
+	if afterSeq > -1 {
+		req.Header.Set("Last-Event-ID", strconv.Itoa(afterSeq))
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		var env struct {
+			Error struct {
+				Code    string `json:"code"`
+				Message string `json:"message"`
+			} `json:"error"`
+		}
+		if json.Unmarshal(raw, &env) == nil && env.Error.Code != "" {
+			return &APIError{Status: resp.StatusCode, Code: env.Error.Code, Message: env.Error.Message}
+		}
+		return &APIError{Status: resp.StatusCode, Code: "unknown", Message: strings.TrimSpace(string(raw))}
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			return fmt.Errorf("bad event line %q: %w", sc.Text(), err)
+		}
+		if err := fn(e); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}
+
+// WaitRun streams events until the run reaches a terminal state, then
+// returns the final status.
+func (c *Client) WaitRun(ctx context.Context, id string) (RunStatus, error) {
+	if err := c.StreamEvents(ctx, id, -1, func(Event) error { return nil }); err != nil {
+		return RunStatus{}, err
+	}
+	return c.GetRun(ctx, id)
+}
+
+// Methods fetches the tuning-method catalogue.
+func (c *Client) Methods(ctx context.Context) ([]MethodInfo, error) {
+	var resp struct {
+		Methods []MethodInfo `json:"methods"`
+	}
+	err := c.do(ctx, http.MethodGet, "/v1/methods", nil, &resp)
+	return resp.Methods, err
+}
+
+// OpenSession opens an ask/tell tuner session.
+func (c *Client) OpenSession(ctx context.Context, req SessionRequest) (SessionStatus, error) {
+	var st SessionStatus
+	err := c.do(ctx, http.MethodPost, "/v1/sessions", req, &st)
+	return st, err
+}
+
+// GetSession fetches a session's state, trial log, and best-so-far.
+func (c *Client) GetSession(ctx context.Context, id string) (SessionStatus, error) {
+	var st SessionStatus
+	err := c.do(ctx, http.MethodGet, "/v1/sessions/"+url.PathEscape(id), nil, &st)
+	return st, err
+}
+
+// Ask requests the session method's next suggested evaluation.
+func (c *Client) Ask(ctx context.Context, id string) (AskResponse, error) {
+	var resp AskResponse
+	err := c.do(ctx, http.MethodPost, "/v1/sessions/"+url.PathEscape(id)+"/ask", nil, &resp)
+	return resp, err
+}
+
+// Tell answers pending asks and/or evaluates caller-chosen configurations.
+func (c *Client) Tell(ctx context.Context, id string, req TellRequest) (TellResponse, error) {
+	var resp TellResponse
+	err := c.do(ctx, http.MethodPost, "/v1/sessions/"+url.PathEscape(id)+"/tell", req, &resp)
+	return resp, err
+}
+
+// CloseSession closes a session, returning its final status.
+func (c *Client) CloseSession(ctx context.Context, id string) (SessionStatus, error) {
+	var st SessionStatus
+	err := c.do(ctx, http.MethodDelete, "/v1/sessions/"+url.PathEscape(id), nil, &st)
+	return st, err
+}
+
+// DriveSession runs a driven session's full ask/tell loop, answering every
+// ask with the server's own bank evaluation, and returns the completed
+// status — the external-driver loop in one call. maxSteps bounds the loop
+// (0 = 10000).
+func (c *Client) DriveSession(ctx context.Context, id string, maxSteps int) (SessionStatus, error) {
+	if maxSteps <= 0 {
+		maxSteps = 10000
+	}
+	for i := 0; i < maxSteps; i++ {
+		ask, err := c.Ask(ctx, id)
+		if err != nil {
+			return SessionStatus{}, err
+		}
+		if ask.Done {
+			return c.GetSession(ctx, id)
+		}
+		if _, err := c.Tell(ctx, id, TellRequest{Answers: []TellAnswer{{AskID: ask.Asks[0].ID}}}); err != nil {
+			return SessionStatus{}, err
+		}
+	}
+	return SessionStatus{}, fmt.Errorf("noisyevald: session %s did not finish in %d steps", id, maxSteps)
+}
+
+// GetHealth fetches /healthz.
+func (c *Client) GetHealth(ctx context.Context) (Health, error) {
+	var h Health
+	err := c.do(ctx, http.MethodGet, "/healthz", nil, &h)
+	return h, err
+}

@@ -1,50 +1,24 @@
 #!/usr/bin/env sh
 # End-to-end smoke test for the noisyevald tuning daemon, shared by
-# `make serve-smoke` and CI's serve job: boot the daemon, wait on /healthz,
-# submit one quick-scale run, stream its events to the terminal state, check
-# the result payload and a dedup hit, then drain gracefully via SIGTERM.
+# `make serve-smoke` and CI's serve job: boot the daemon, then run the
+# tools/servesmoke exerciser against it over pkg/client — health wait, one
+# quick run streamed to completion with a dedup check, the /v1/methods
+# catalogue, and an ask/tell session driven over the wire whose best must
+# match the server-driven run exactly — then drain gracefully via SIGTERM.
 #
 # Usage: tools/serve_smoke.sh [addr] [cache-dir]
 set -eu
 
 ADDR="${1:-127.0.0.1:8723}"
 CACHE="${2:-$HOME/.cache/noisyeval-banks}"
-BODY='{"dataset":"cifar10","method":"rs","trials":3,"seed":11,"noise":{"sample_count":2}}'
 
 go build -o /tmp/noisyevald-smoke ./cmd/noisyevald
-/tmp/noisyevald-smoke -addr "$ADDR" -cache-dir "$CACHE" &
+go build -o /tmp/servesmoke ./tools/servesmoke
+/tmp/noisyevald-smoke -addr "$ADDR" -cache-dir "$CACHE" -session-ttl 5m &
 PID=$!
 trap 'kill -9 $PID 2>/dev/null || true' EXIT
 
-i=0
-until curl -sf --max-time 5 "http://$ADDR/healthz" >/dev/null 2>&1; do
-  i=$((i + 1))
-  [ $i -gt 100 ] && { echo "daemon never became healthy"; exit 1; }
-  sleep 0.2
-done
-echo "healthz ok"
-
-ID=$(curl -sf --max-time 30 -X POST "http://$ADDR/v1/runs" -d "$BODY" |
-  sed -n 's/.*"id": "\(run-[0-9]*\)".*/\1/p')
-[ -n "$ID" ] || { echo "submit returned no run id"; exit 1; }
-echo "submitted $ID"
-
-# The event stream ends at the terminal event; require it to be "done".
-curl -sfN --max-time 300 "http://$ADDR/v1/runs/$ID/events" | tail -n 1 | grep -q '"state":"done"' ||
-  { echo "run did not reach done"; exit 1; }
-echo "run done"
-
-curl -sf --max-time 30 "http://$ADDR/v1/runs/$ID" | grep -q '"median_err"' ||
-  { echo "result missing median_err"; exit 1; }
-
-# An identical resubmission must be a dedup hit on the same run.
-curl -sf --max-time 30 -X POST "http://$ADDR/v1/runs" -d "$BODY" | grep -q "\"id\": \"$ID\"" ||
-  { echo "identical submission was not deduplicated"; exit 1; }
-echo "dedup ok"
-
-curl -sf --max-time 30 "http://$ADDR/v1/banks" | grep -q '"key"' || { echo "no cached banks listed"; exit 1; }
-curl -sf --max-time 30 "http://$ADDR/debug/vars" | grep -q '"runs_completed": 1' ||
-  { echo "counters wrong"; exit 1; }
+/tmp/servesmoke -base "http://$ADDR"
 
 kill -TERM $PID
 wait $PID || { echo "daemon exited non-zero on SIGTERM"; exit 1; }
