@@ -15,12 +15,16 @@
 #   make cluster-smoke boot a coordinator + two noisyworker processes, build
 #                    quick banks cold through sharded fleet leases (both
 #                    workers must train shards), re-run warm with 0 builds
+#   make crash-smoke boot noisyevald with a run journal, load it via
+#                    tools/loadgen, kill -9 mid-flight (torn WAL tail
+#                    included), restart, assert zero lost runs and results
+#                    identical to an uninterrupted reference daemon
 
 GO         ?= go
 CACHE_DIR  ?= $(HOME)/.cache/noisyeval-banks
 SERVE_ADDR ?= 127.0.0.1:8723
 
-.PHONY: build lint test race bench bench-json bench-check figures serve serve-smoke cluster-smoke clean
+.PHONY: build lint test race bench bench-json bench-check figures serve serve-smoke cluster-smoke crash-smoke clean
 
 build:
 	$(GO) build ./...
@@ -78,6 +82,13 @@ serve-smoke: build
 # train nothing. Uses its own cache dir so "cold" is guaranteed.
 cluster-smoke: build
 	./tools/cluster_smoke.sh
+
+# Fault-injected durability end to end: journal boot, concurrent load,
+# kill -9 + torn WAL tail, recovery boot asserted via expvar
+# (journal_replayed / journal_torn_tail / runs_recovered) and loadgen verify
+# against an uninterrupted reference daemon.
+crash-smoke: build
+	./tools/crash_smoke.sh
 
 clean:
 	rm -f bench.out bench-gated.out BENCH_smoke.json BENCH_latest.json

@@ -21,8 +21,13 @@
 //	curl -s localhost:8723/v1/banks
 //	curl -s localhost:8723/debug/vars
 //
-// SIGINT/SIGTERM trigger a graceful shutdown: in-flight runs drain, queued
-// runs are cancelled, then the listener closes.
+// SIGINT/SIGTERM trigger a graceful shutdown: in-flight runs drain, then the
+// listener closes. With -journal-dir the run lifecycle is durable: queued
+// runs are parked in the journal (re-admitted on the next boot) instead of
+// cancelled, finished results survive restarts, and after a crash the daemon
+// replays the journal — terminal runs serve their cached results, interrupted
+// ones re-execute deterministically. Without a journal, queued runs are
+// cancelled at shutdown as before.
 package main
 
 import (
@@ -59,6 +64,11 @@ func main() {
 		leaseTTL      = flag.Duration("lease-ttl", 2*time.Minute, "cluster mode: shard lease duration before requeue")
 		selfBuild     = flag.Int("self-build", 1, "cluster mode: in-process shard builders (0 = rely entirely on external workers)")
 		peersFlag     = flag.String("peers", "", "comma-separated warm-peer base URLs whose /v1/banks/{key} seeds this daemon's cache")
+		journalDir    = flag.String("journal-dir", os.Getenv("NOISYEVAL_JOURNAL_DIR"), "run journal directory: makes the run lifecycle durable across crashes and restarts (default $NOISYEVAL_JOURNAL_DIR; empty = no journal)")
+		journalMax    = flag.Int64("journal-max-bytes", 0, "journal byte budget across snapshot+WAL; exhausted budget 503s new submissions (0 = 64 MiB, negative = unlimited)")
+		journalComp   = flag.Int64("journal-compact-bytes", 0, "WAL size that triggers background compaction into a snapshot (0 = budget/4)")
+		shedThreshold = flag.Float64("shed-threshold", 0, "shed cold-bank submissions once the queue holds this fraction of -queue (e.g. 0.5; <= 0 disables shedding)")
+		execDelay     = flag.Duration("exec-delay", 0, "fault injection: pad every run's execution by this duration so crash/load harnesses can catch runs in flight (0 = off)")
 	)
 	flag.Parse()
 
@@ -105,14 +115,36 @@ func main() {
 		log.Printf("peer read-through from %s", strings.Join(peers, ", "))
 	}
 
+	var journal *serve.RunJournal
+	if *journalDir != "" {
+		var err error
+		journal, err = serve.OpenRunJournal(serve.JournalOptions{
+			Dir:             *journalDir,
+			MaxBytes:        *journalMax,
+			CompactWALBytes: *journalComp,
+			Logf:            log.Printf,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		st := journal.Stats()
+		log.Printf("run journal at %s (replayed %d records, %d runs recovered, %d torn tails, %d dropped)",
+			*journalDir, st.Replayed, len(journal.Recovered()), st.TornTails, journal.Dropped())
+	} else {
+		log.Printf("no -journal-dir: run lifecycle is in-memory only (queued runs are lost on crash or shutdown)")
+	}
+
 	mgr := serve.NewManager(serve.Options{
-		Store:          store,
-		Builder:        builder,
-		Workers:        *workers,
-		QueueDepth:     *queueDepth,
-		TTL:            *runTTL,
-		SessionIdleTTL: *sessionTTL,
-		MaxSessions:    *maxSessions,
+		Store:            store,
+		Builder:          builder,
+		Workers:          *workers,
+		QueueDepth:       *queueDepth,
+		TTL:              *runTTL,
+		SessionIdleTTL:   *sessionTTL,
+		MaxSessions:      *maxSessions,
+		Journal:          journal,
+		ShedColdFraction: *shedThreshold,
+		ExecDelay:        *execDelay,
 	})
 	daemon := serve.NewDaemon(*addr, mgr)
 	if coord != nil {

@@ -171,6 +171,18 @@ func (s *BankStore) Path(key string) string {
 	return filepath.Join(s.dir, key+".bank")
 }
 
+// Has reports whether a non-empty entry for key exists on disk, without
+// opening or decoding it. noisyevald's admission control classifies
+// submissions as warm or cold with it on the request path, so it must stay
+// a single stat. A nil store has nothing.
+func (s *BankStore) Has(key string) bool {
+	if s == nil {
+		return false
+	}
+	fi, err := os.Stat(s.Path(key))
+	return err == nil && fi.Size() > 0
+}
+
 // Get returns the cached bank for key, or (nil, nil) on a miss. A corrupt
 // entry is evicted and reported as a miss, never as an error: the caller can
 // always rebuild. An entry that merely fails to open (transient fd/permission

@@ -155,7 +155,10 @@ type Suite struct {
 	// installed marks banks supplied via SetBank (external artifacts whose
 	// build inputs are unknown; run keys fingerprint their content instead).
 	installed map[string]bool
-	pool      []fl.HParams // shared config pool across datasets
+	// ready marks bank slots whose build has completed (BankReady reads it;
+	// bankEntry.bank itself is only synchronized by the entry's once).
+	ready map[string]bool
+	pool  []fl.HParams // shared config pool across datasets
 
 	builds atomic.Int64 // banks actually trained (cache hits excluded)
 }
@@ -177,7 +180,18 @@ func NewSuite(cfg Config) *Suite {
 		pops:      map[string]*popEntry{},
 		banks:     map[string]*bankEntry{},
 		installed: map[string]bool{},
+		ready:     map[string]bool{},
 	}
+}
+
+// BankReady reports whether the bank slot for key is already resolved in
+// this suite — built, loaded, or installed — without triggering a build.
+// noisyevald's admission control uses it (together with the store) to
+// classify a submission as warm or cold before deciding to shed it.
+func (s *Suite) BankReady(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ready[key]
 }
 
 // SetStore attaches a content-addressed bank cache: Bank and DecadeBank
@@ -263,6 +277,9 @@ func (s *Suite) bankFor(key string, build func() *core.Bank) *core.Bank {
 	}
 	s.mu.Unlock()
 	e.once.Do(func() { e.bank = build() })
+	s.mu.Lock()
+	s.ready[key] = true
+	s.mu.Unlock()
 	return e.bank
 }
 
@@ -325,6 +342,7 @@ func (s *Suite) SetBank(name string, b *core.Bank) {
 	defer s.mu.Unlock()
 	s.banks[name] = e
 	s.installed[name] = true
+	s.ready[name] = true
 	if s.pool == nil {
 		s.pool = b.Configs
 	}

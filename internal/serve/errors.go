@@ -21,6 +21,8 @@ const (
 	CodeInvalidState    = "invalid_state"     // unknown ?state= filter value
 	CodeNotFound        = "not_found"         // no such run/session (or expired)
 	CodeQueueFull       = "queue_full"        // run queue at capacity (503)
+	CodeJournalFull     = "journal_full"      // durability journal budget exhausted (503)
+	CodeShedCold        = "shed_cold_bank"    // cold-bank submission shed under load (503)
 	CodeShuttingDown    = "shutting_down"     // graceful drain in progress (503)
 	CodeTooManySessions = "too_many_sessions" // session table at capacity (503)
 	CodeSessionTerminal = "session_terminal"  // ask/tell on a finished session (409)
@@ -62,7 +64,7 @@ func statusForCode(code string) int {
 	switch code {
 	case CodeNotFound:
 		return http.StatusNotFound
-	case CodeQueueFull, CodeShuttingDown, CodeTooManySessions:
+	case CodeQueueFull, CodeJournalFull, CodeShedCold, CodeShuttingDown, CodeTooManySessions:
 		return http.StatusServiceUnavailable
 	case CodeSessionTerminal, CodeBudgetExhausted:
 		return http.StatusConflict
@@ -92,6 +94,10 @@ func (s *Server) writeAPIError(w http.ResponseWriter, err error) {
 		code = CodeBadRequest
 	case errors.Is(err, ErrQueueFull):
 		code = CodeQueueFull
+	case errors.Is(err, ErrJournalFull):
+		code = CodeJournalFull
+	case errors.Is(err, ErrShedCold):
+		code = CodeShedCold
 	case errors.Is(err, ErrShuttingDown):
 		code = CodeShuttingDown
 	}

@@ -401,12 +401,24 @@ func (s *Server) handleBanks(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	c := s.mgr.Counters()
-	writeJSON(w, http.StatusOK, map[string]any{
+	payload := map[string]any{
 		"status":      "ok",
 		"uptime":      time.Since(s.start).Round(time.Millisecond).String(),
 		"runs_active": c.RunsActive,
 		"runs_queued": c.RunsQueued,
-	})
+	}
+	journal := map[string]any{"enabled": false}
+	if jr := s.mgr.Journal(); jr != nil {
+		st := jr.Stats()
+		journal["enabled"] = true
+		journal["bytes"] = jr.Bytes()
+		journal["max_bytes"] = jr.MaxBytes()
+		if !st.LastCompact.IsZero() {
+			journal["last_snapshot"] = st.LastCompact.UTC().Format(time.RFC3339Nano)
+		}
+	}
+	payload["journal"] = journal
+	writeJSON(w, http.StatusOK, payload)
 }
 
 // handleVars serves the expvar counter map. Counters are refreshed into the
@@ -427,6 +439,22 @@ func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {
 	setInt("runs_active", c.RunsActive)
 	setInt("runs_queued", c.RunsQueued)
 	setInt("runs_retained", c.RunsRetained)
+	setInt("runs_recovered", c.RunsRecovered)
+	setInt("runs_parked", c.RunsParked)
+	setInt("runs_shed_cold", c.RunsShedCold)
+	if jr := s.mgr.Journal(); jr != nil {
+		jst := jr.Stats()
+		setInt("journal_enabled", 1)
+		setInt("journal_replayed", jst.Replayed)
+		setInt("journal_torn_tail", jst.TornTails)
+		setInt("journal_appends", jst.Appends)
+		setInt("journal_compactions", jst.Compactions)
+		setInt("journal_bytes", jst.SnapshotBytes+jst.WALBytes)
+		setInt("journal_snapshot_bytes", jst.SnapshotBytes)
+		setInt("journal_dropped_records", jr.Dropped())
+	} else {
+		setInt("journal_enabled", 0)
+	}
 	setInt("sessions_open", c.SessionsOpen)
 	setInt("sessions_opened", c.SessionsOpened)
 	setInt("sessions_reaped", c.SessionsReaped)

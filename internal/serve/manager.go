@@ -10,6 +10,7 @@ import (
 
 	"noisyeval/internal/core"
 	"noisyeval/internal/exper"
+	"noisyeval/internal/serve/journal"
 )
 
 // Submission outcomes the HTTP layer maps to status codes.
@@ -21,6 +22,15 @@ var (
 	ErrQueueFull = errors.New("run queue full")
 	// ErrShuttingDown rejects submissions during graceful shutdown (503).
 	ErrShuttingDown = errors.New("server shutting down")
+	// ErrJournalFull rejects submissions when the durability journal's byte
+	// budget is exhausted even after compaction — admission without a
+	// durable record would silently downgrade the crash-safety contract
+	// (503 + Retry-After).
+	ErrJournalFull = errors.New("run journal full")
+	// ErrShedCold sheds submissions that need a cold bank build while the
+	// queue is under pressure, preserving capacity for warm-cache work that
+	// clears quickly (503 + Retry-After).
+	ErrShedCold = errors.New("queue under pressure: cold-bank submission shed")
 )
 
 // Options configures a Manager. The zero value works: quick/full scales, a
@@ -51,6 +61,25 @@ type Options struct {
 	// (default {"quick": exper.Quick(), "full": exper.Default()}).
 	Scales map[string]exper.Config
 
+	// Journal, when set, makes the run lifecycle durable: admissions,
+	// starts, and terminal transitions are journaled, recovered runs are
+	// re-admitted by NewManager, and graceful shutdown parks queued runs
+	// (still journaled as queued) instead of cancelling them. The manager
+	// takes ownership and closes it after Shutdown drains.
+	Journal *RunJournal
+	// ShedColdFraction enables shed-by-class admission control: once the
+	// queue holds at least ShedColdFraction × QueueDepth runs, submissions
+	// that would require a cold bank build are rejected with ErrShedCold
+	// while warm-cache submissions keep flowing. <= 0 disables shedding.
+	ShedColdFraction float64
+
+	// ExecDelay is a fault-injection hook: each run's execution is padded
+	// by this duration before the tuner starts. Oracle-backed runs finish
+	// in microseconds, so crash/load harnesses (tools/crash_smoke.sh) set
+	// this to hold a realistic mix of done/running/queued runs in flight
+	// at kill time. Zero (the default) adds nothing.
+	ExecDelay time.Duration
+
 	// execGate, when set, is called by a worker immediately before a run
 	// executes. Test hook: lets shutdown tests hold a run in-flight
 	// deterministically.
@@ -68,6 +97,9 @@ type Counters struct {
 	RunsActive    int64 `json:"runs_active"`
 	RunsQueued    int64 `json:"runs_queued"`
 	RunsRetained  int64 `json:"runs_retained"`
+	RunsRecovered int64 `json:"runs_recovered"` // non-terminal runs re-admitted from the journal
+	RunsParked    int64 `json:"runs_parked"`    // queued runs parked (not cancelled) at shutdown
+	RunsShedCold  int64 `json:"runs_shed_cold"` // cold-bank submissions shed under pressure
 
 	SessionsOpen   int64 `json:"sessions_open"`
 	SessionsOpened int64 `json:"sessions_opened"`
@@ -96,6 +128,7 @@ type Manager struct {
 	janitorStop chan struct{}
 
 	started, completed, failed, cancelled, deduped, active, queued atomic.Int64
+	recovered, parked, shed                                        atomic.Int64
 }
 
 // NewManager starts a manager (worker pool and TTL janitor included).
@@ -122,9 +155,19 @@ func NewManager(opts Options) *Manager {
 		opts:        opts,
 		reg:         NewRegistry(opts.TTL),
 		sessions:    NewSessionRegistry(opts.SessionIdleTTL, opts.MaxSessions),
-		queue:       make(chan *Run, opts.QueueDepth),
 		suites:      map[string]*exper.Suite{},
 		janitorStop: make(chan struct{}),
+	}
+	// Replay the journal before anything executes: terminal runs come back
+	// with their cached response bytes, non-terminal ones re-enter the queue.
+	// The queue is sized to hold every recovered run on top of QueueDepth, so
+	// re-admission can never block or shed work the daemon already accepted.
+	pending := m.restoreFromJournal()
+	m.queue = make(chan *Run, opts.QueueDepth+len(pending))
+	for _, run := range pending {
+		m.queue <- run
+		m.queued.Add(1)
+		m.recovered.Add(1)
 	}
 	for i := 0; i < opts.Workers; i++ {
 		m.wg.Add(1)
@@ -132,6 +175,34 @@ func NewManager(opts Options) *Manager {
 	}
 	go m.janitor()
 	return m
+}
+
+// restoreFromJournal folds the journal's recovered runs into the registry
+// and returns the non-terminal ones in submission order for re-admission.
+// A recovered run whose method no longer resolves (the binary changed
+// between boots) fails visibly instead of disappearing.
+func (m *Manager) restoreFromJournal() []*Run {
+	jr := m.opts.Journal
+	if jr == nil {
+		return nil
+	}
+	var pending []*Run
+	for _, rr := range jr.Recovered() {
+		treq, terr := rr.Request.TuneRequest()
+		run := recoverRun(rr, treq)
+		m.reg.Restore(run)
+		switch {
+		case rr.State.Terminal():
+			// Fully reconstructed; nothing to do.
+		case terr != nil:
+			m.failed.Add(1)
+			run.finish(StateFailed, nil, fmt.Sprintf("recovery: %v", terr), time.Now())
+			m.journalTerminal(run)
+		default:
+			pending = append(pending, run)
+		}
+	}
+	return pending
 }
 
 // Registry exposes the run store (handlers read it).
@@ -142,6 +213,10 @@ func (m *Manager) Sessions() *SessionRegistry { return m.sessions }
 
 // Store returns the shared bank cache (nil when none).
 func (m *Manager) Store() *core.BankStore { return m.opts.Store }
+
+// Journal returns the durability journal (nil when the daemon runs without
+// one); handlers surface its stats at /debug/vars and /healthz.
+func (m *Manager) Journal() *RunJournal { return m.opts.Journal }
 
 // ScaleNames returns the accepted scale names, sorted small-to-large by
 // convention ("quick" before "full" when both exist).
@@ -225,29 +300,77 @@ func (m *Manager) Submit(req RunRequest) (run *Run, created bool, err error) {
 	if m.closed {
 		return nil, false, ErrShuttingDown
 	}
+	// Dedup before admission control: an identical live or retained run
+	// absorbs the submission without consuming queue capacity or a journal
+	// record, so retrying clients coalesce even while new work is being shed.
+	if r, ok := m.reg.Lookup(key); ok {
+		m.deduped.Add(1)
+		return r, false, nil
+	}
+	// Shed by class under pressure: reject the expensive cold-bank class
+	// before the warm one. A warm submission clears its worker in roughly a
+	// trial's time; a cold one pins it through an entire bank build.
+	if f := m.opts.ShedColdFraction; f > 0 &&
+		float64(m.queued.Load()) >= f*float64(m.opts.QueueDepth) &&
+		m.coldBank(suite, req.Dataset) {
+		m.shed.Add(1)
+		return nil, false, ErrShedCold
+	}
+	// Capacity check on the counter, not the channel: the channel is
+	// over-sized to absorb journal-recovered runs, but new admissions are
+	// still bounded by QueueDepth.
+	if int(m.queued.Load()) >= m.opts.QueueDepth {
+		return nil, false, ErrQueueFull
+	}
 	run, created = m.reg.GetOrCreate(key, req, treq)
 	if !created {
 		m.deduped.Add(1)
 		return run, false, nil
 	}
-	select {
-	case m.queue <- run:
-		m.queued.Add(1)
-	default:
-		m.reg.Remove(run)
-		return nil, false, ErrQueueFull
+	// Durability point: the submit record is on disk before the run is
+	// queued or acknowledged — once a client holds a 202, a crash cannot
+	// lose the run. Capacity was checked above under m.mu (which serializes
+	// every enqueuer), so this send cannot block.
+	if jr := m.opts.Journal; jr != nil {
+		if err := jr.recordSubmit(m.reg, run); err != nil {
+			m.reg.Remove(run)
+			if errors.Is(err, journal.ErrBudget) {
+				return nil, false, ErrJournalFull
+			}
+			return nil, false, fmt.Errorf("journal submit: %w", err)
+		}
 	}
+	m.queue <- run
+	m.queued.Add(1)
 	return run, true, nil
 }
 
+// coldBank reports whether executing a run against dataset would require
+// training a bank: not yet resolved in the suite and not present in the
+// shared store. Both probes are cheap (a map lookup and a stat) — neither
+// triggers a build.
+func (m *Manager) coldBank(suite *exper.Suite, dataset string) bool {
+	if suite.BankReady(dataset) {
+		return false
+	}
+	return !m.opts.Store.Has(suite.BankKeyFor(dataset))
+}
+
 // worker executes queued runs until the queue closes. During shutdown the
-// remaining queued runs are cancelled instead of executed — in-flight runs
-// drain, queued ones don't start.
+// remaining queued runs drain without executing: with a journal they are
+// parked — still queued on disk, re-admitted next boot — and without one
+// they are cancelled (the pre-journal behavior, since nothing would ever
+// pick them up again).
 func (m *Manager) worker() {
 	defer m.wg.Done()
 	for run := range m.queue {
 		m.queued.Add(-1)
 		if m.draining() {
+			if m.opts.Journal != nil {
+				m.parked.Add(1)
+				run.park()
+				continue
+			}
 			m.cancelled.Add(1)
 			run.finish(StateCancelled, nil, "server shutting down before run started", time.Now())
 			continue
@@ -272,22 +395,52 @@ func (m *Manager) execute(run *Run) {
 	m.started.Add(1)
 	m.active.Add(1)
 	defer m.active.Add(-1)
-	run.start(time.Now())
+	now := time.Now()
+	run.start(now)
+	// Best-effort: losing a start record only costs the recovered run its
+	// "running" label — it is re-admitted as queued either way.
+	if jr := m.opts.Journal; jr != nil {
+		_ = jr.recordStart(m.reg, run, now)
+	}
+
+	if d := m.opts.ExecDelay; d > 0 {
+		time.Sleep(d)
+	}
 
 	suite, err := m.suiteFor(run.Req.Scale)
 	if err != nil {
 		m.failed.Add(1)
 		run.finish(StateFailed, nil, err.Error(), time.Now())
+		m.journalTerminal(run)
 		return
 	}
 	res, err := suite.RunTune(run.treq, run.trial)
 	if err != nil {
 		m.failed.Add(1)
 		run.finish(StateFailed, nil, err.Error(), time.Now())
+		m.journalTerminal(run)
 		return
 	}
 	m.completed.Add(1)
 	run.finish(StateDone, res, "", time.Now())
+	m.journalTerminal(run)
+}
+
+// journalTerminal records a terminal transition and opportunistically
+// compacts. Best-effort: a lost terminal record means the run re-executes
+// after a crash — wasteful but correct, since re-execution is deterministic
+// and the client-visible result is identical.
+func (m *Manager) journalTerminal(run *Run) {
+	jr := m.opts.Journal
+	if jr == nil {
+		return
+	}
+	if err := jr.recordTerminal(m.reg, run); err != nil {
+		jr.logf("journal: terminal record for %s: %v", run.ID, err)
+	}
+	if err := jr.maybeCompact(m.reg); err != nil {
+		jr.logf("journal: compact: %v", err)
+	}
 }
 
 // janitor sweeps the registry so TTL eviction happens even on an idle
@@ -307,6 +460,14 @@ func (m *Manager) janitor() {
 		case <-t.C:
 			m.reg.Sweep()
 			m.sessions.Sweep()
+			if jr := m.opts.Journal; jr != nil {
+				// Compact after the sweep so evicted runs leave the
+				// snapshot too — journal growth tracks retention, not
+				// lifetime traffic.
+				if err := jr.maybeCompact(m.reg); err != nil {
+					jr.logf("journal: janitor compact: %v", err)
+				}
+			}
 		case <-m.janitorStop:
 			return
 		}
@@ -324,6 +485,9 @@ func (m *Manager) Counters() Counters {
 		RunsActive:    m.active.Load(),
 		RunsQueued:    m.queued.Load(),
 		RunsRetained:  int64(m.reg.Len()),
+		RunsRecovered: m.recovered.Load(),
+		RunsParked:    m.parked.Load(),
+		RunsShedCold:  m.shed.Load(),
 
 		SessionsOpen:   int64(m.sessions.Len()),
 		SessionsOpened: m.sessions.Opened(),
@@ -361,6 +525,17 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 			// goroutine, so after drain nothing references the suites.
 			m.sessions.CloseAll()
 			m.wg.Wait()
+			// Workers are gone, so no more appends: compact the journal to
+			// a tidy snapshot (terminal results plus parked queued runs)
+			// and close it. The parked runs are re-admitted next boot.
+			if jr := m.opts.Journal; jr != nil {
+				if err := jr.maybeCompact(m.reg); err != nil {
+					jr.logf("journal: shutdown compact: %v", err)
+				}
+				if err := jr.Close(); err != nil {
+					jr.logf("journal: close: %v", err)
+				}
+			}
 			close(done)
 		}(m.drainDone)
 	}

@@ -35,6 +35,22 @@ func NewRegistry(ttl time.Duration) *Registry {
 	}
 }
 
+// Lookup returns the run that would absorb a submission for key — the dedup
+// probe of GetOrCreate without the create half. Failed and cancelled runs do
+// not satisfy it, matching GetOrCreate's retry semantics.
+func (g *Registry) Lookup(key string) (*Run, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if r, ok := g.byKey[key]; ok {
+		if g.expiredLocked(r) {
+			g.removeLocked(r)
+		} else if st := r.State(); st != StateFailed && st != StateCancelled {
+			return r, true
+		}
+	}
+	return nil, false
+}
+
 // GetOrCreate returns the live or retained run for key, or creates a fresh
 // queued one. created reports whether the caller must schedule the returned
 // run. Failed and cancelled runs do not satisfy dedup — an identical
@@ -54,6 +70,22 @@ func (g *Registry) GetOrCreate(key string, req RunRequest, treq exper.TuneReques
 	g.runs[r.ID] = r
 	g.byKey[key] = r
 	return r, true
+}
+
+// Restore re-inserts a recovered run under its original ID and bumps the ID
+// counter past its numeric suffix, so fresh submissions after a restart
+// never collide with recovered IDs. Called in journal order, so when two
+// recovered runs share a key (a failed run plus its retry) the later one
+// wins the dedup index — the same state live traffic would have left.
+func (g *Registry) Restore(r *Run) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.runs[r.ID] = r
+	g.byKey[r.Key] = r
+	var n int
+	if _, err := fmt.Sscanf(r.ID, "run-%d", &n); err == nil && n > g.nextID {
+		g.nextID = n
+	}
 }
 
 // Get returns the run with the given ID. An expired run is evicted on the

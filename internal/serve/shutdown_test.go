@@ -193,6 +193,150 @@ func TestShutdownTimeout(t *testing.T) {
 	}
 }
 
+// TestShutdownParksQueuedRunsWithJournal pins the journaled shutdown
+// contract: the in-flight run drains, but queued runs are parked — left in
+// the queued state, their submit records durable — instead of cancelled,
+// and a subsequent manager on the same journal re-admits and completes
+// them. Subscribers of a parked run see their stream end without a terminal
+// event (the reconnect-and-resume signal), not a bogus cancellation.
+func TestShutdownParksQueuedRunsWithJournal(t *testing.T) {
+	dir := t.TempDir()
+	store := testStore(t)
+	scales := map[string]exper.Config{"quick": tinyConfig()}
+	gate := make(chan struct{})
+	entered := make(chan struct{}, 1)
+	mgr := NewManager(Options{
+		Workers: 1, Store: store, Scales: scales,
+		Journal: openTestJournal(t, dir),
+		execGate: func(*Run) {
+			entered <- struct{}{}
+			<-gate
+		},
+	})
+
+	submit := func(seed uint64) *Run {
+		t.Helper()
+		run, created, err := mgr.Submit(RunRequest{Dataset: "cifar10", Method: "rs", Trials: 2, Seed: seed})
+		if err != nil || !created {
+			t.Fatalf("submit seed %d: created=%v err=%v", seed, created, err)
+		}
+		return run
+	}
+	inflight := submit(1)
+	<-entered
+	queuedA, queuedB := submit(2), submit(3)
+
+	// A client watching a queued run must be released at park time.
+	replay, ch, cancelSub := queuedA.Subscribe()
+	defer cancelSub()
+	if len(replay) != 1 || replay[0].State != StateQueued {
+		t.Fatalf("queued run replay = %+v", replay)
+	}
+
+	shutdownErr := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		shutdownErr <- mgr.Shutdown(ctx)
+	}()
+	for {
+		_, _, err := mgr.Submit(RunRequest{Dataset: "cifar10", Method: "rs", Trials: 2, Seed: 3})
+		if errors.Is(err, ErrShuttingDown) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(gate)
+	if err := <-shutdownErr; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+
+	if st := inflight.State(); st != StateDone {
+		t.Errorf("in-flight run state = %q, want done (drained)", st)
+	}
+	for _, q := range []*Run{queuedA, queuedB} {
+		if st := q.State(); st != StateQueued {
+			t.Errorf("parked run %s state = %q, want queued (not cancelled)", q.ID, st)
+		}
+	}
+	select {
+	case e, ok := <-ch:
+		if ok {
+			t.Errorf("parked run emitted event %+v; its channel should just close", e)
+		}
+	case <-time.After(5 * time.Second):
+		t.Error("parked run's subscriber channel never closed")
+	}
+	if c := mgr.Counters(); c.RunsParked != 2 || c.RunsCancelled != 0 {
+		t.Errorf("counters = parked %d / cancelled %d, want 2 / 0", c.RunsParked, c.RunsCancelled)
+	}
+
+	// Next boot: the parked runs are recovered and complete.
+	jr2 := openTestJournal(t, dir)
+	mgr2 := NewManager(Options{Workers: 2, Store: store, Scales: scales, Journal: jr2})
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		mgr2.Shutdown(ctx)
+	})
+	if c := mgr2.Counters(); c.RunsRecovered != 2 {
+		t.Fatalf("RunsRecovered = %d, want 2", c.RunsRecovered)
+	}
+	for _, id := range []string{queuedA.ID, queuedB.ID} {
+		run, ok := mgr2.Registry().Get(id)
+		if !ok {
+			t.Fatalf("recovered manager is missing parked run %s", id)
+		}
+		waitState(t, run, StateDone)
+	}
+	// The terminal run recovered too — served from the snapshot.
+	if run, ok := mgr2.Registry().Get(inflight.ID); !ok || run.State() != StateDone {
+		t.Errorf("drained run %s not recovered as done", inflight.ID)
+	}
+}
+
+// TestShutdownWithoutJournalStillCancels pins that the pre-journal shutdown
+// behavior is preserved when no journal is configured: parked state would be
+// a lie (nothing re-admits the runs), so they are cancelled visibly.
+func TestShutdownWithoutJournalStillCancels(t *testing.T) {
+	gate := make(chan struct{})
+	entered := make(chan struct{}, 1)
+	mgr := NewManager(Options{
+		Workers: 1, Store: testStore(t),
+		Scales: map[string]exper.Config{"quick": tinyConfig()},
+		execGate: func(*Run) {
+			entered <- struct{}{}
+			<-gate
+		},
+	})
+	if _, _, err := mgr.Submit(RunRequest{Dataset: "cifar10", Method: "rs", Trials: 2, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	<-entered
+	queued, _, err := mgr.Submit(RunRequest{Dataset: "cifar10", Method: "rs", Trials: 2, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			_, _, err := mgr.Submit(RunRequest{Dataset: "cifar10", Method: "rs", Trials: 2, Seed: 2})
+			if errors.Is(err, ErrShuttingDown) {
+				close(gate)
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := mgr.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if st := queued.State(); st != StateCancelled {
+		t.Errorf("queued run state = %q, want cancelled without a journal", st)
+	}
+}
+
 func TestQueueBackpressure(t *testing.T) {
 	gate := make(chan struct{})
 	entered := make(chan struct{}, 1)

@@ -237,12 +237,21 @@ type TellResponse struct {
 	SpentRounds int            `json:"spent_rounds"`
 }
 
+// HealthJournal mirrors the journal block of GET /healthz.
+type HealthJournal struct {
+	Enabled      bool   `json:"enabled"`
+	Bytes        int64  `json:"bytes,omitempty"`
+	MaxBytes     int64  `json:"max_bytes,omitempty"`
+	LastSnapshot string `json:"last_snapshot,omitempty"`
+}
+
 // Health mirrors GET /healthz.
 type Health struct {
-	Status     string `json:"status"`
-	Uptime     string `json:"uptime"`
-	RunsActive int64  `json:"runs_active"`
-	RunsQueued int64  `json:"runs_queued"`
+	Status     string        `json:"status"`
+	Uptime     string        `json:"uptime"`
+	RunsActive int64         `json:"runs_active"`
+	RunsQueued int64         `json:"runs_queued"`
+	Journal    HealthJournal `json:"journal"`
 }
 
 // APIError is a non-2xx response: the HTTP status plus the server's coded
@@ -251,6 +260,9 @@ type APIError struct {
 	Status  int
 	Code    string
 	Message string
+	// RetryAfter is the server's Retry-After hint in seconds (0 when the
+	// response carried none). The client's RetryPolicy honors it.
+	RetryAfter int
 }
 
 func (e *APIError) Error() string {
@@ -263,6 +275,10 @@ type Client struct {
 	BaseURL string
 	// HTTPClient defaults to http.DefaultClient.
 	HTTPClient *http.Client
+	// Retry controls automatic retries on transient failures (429/503
+	// rejections for every call; connection errors for idempotent ones).
+	// nil = DefaultRetryPolicy. Use NoRetry() to disable.
+	Retry *RetryPolicy
 }
 
 // New returns a client for the daemon at baseURL.
@@ -277,21 +293,74 @@ func (c *Client) httpClient() *http.Client {
 	return http.DefaultClient
 }
 
-// do issues one JSON round trip; non-2xx decodes into *APIError.
+func (c *Client) retry() *RetryPolicy {
+	if c.Retry != nil {
+		return c.Retry
+	}
+	return DefaultRetryPolicy()
+}
+
+// apiErrorFrom decodes a non-2xx response into *APIError, capturing the
+// Retry-After hint for the retry policy.
+func apiErrorFrom(resp *http.Response, raw []byte) *APIError {
+	retryAfter := 0
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		retryAfter, _ = strconv.Atoi(s)
+	}
+	var env struct {
+		Error struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	if json.Unmarshal(raw, &env) == nil && env.Error.Code != "" {
+		return &APIError{Status: resp.StatusCode, Code: env.Error.Code, Message: env.Error.Message, RetryAfter: retryAfter}
+	}
+	return &APIError{Status: resp.StatusCode, Code: "unknown", Message: strings.TrimSpace(string(raw)), RetryAfter: retryAfter}
+}
+
+// do issues one JSON call with automatic retries; non-2xx decodes into
+// *APIError. 429/503 rejections retry for every call (the server did not
+// process them); transport errors retry only for idempotent calls — GETs,
+// and POST /v1/runs, which the daemon deduplicates by content-addressed run
+// key, so a double submission is harmless.
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
-	var body io.Reader
+	var raw []byte
 	if in != nil {
-		raw, err := json.Marshal(in)
-		if err != nil {
+		var err error
+		if raw, err = json.Marshal(in); err != nil {
 			return err
 		}
-		body = bytes.NewReader(raw)
+	}
+	idempotent := method == http.MethodGet ||
+		(method == http.MethodPost && path == "/v1/runs")
+	pol := c.retry()
+	for attempt := 0; ; attempt++ {
+		err := c.doOnce(ctx, method, path, raw, out)
+		if err == nil {
+			return nil
+		}
+		delay, retry := pol.shouldRetry(ctx, err, attempt, idempotent)
+		if !retry {
+			return err
+		}
+		if serr := sleepCtx(ctx, delay); serr != nil {
+			return err
+		}
+	}
+}
+
+// doOnce issues exactly one JSON round trip.
+func (c *Client) doOnce(ctx context.Context, method, path string, rawIn []byte, out any) error {
+	var body io.Reader
+	if rawIn != nil {
+		body = bytes.NewReader(rawIn)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
 	if err != nil {
 		return err
 	}
-	if in != nil {
+	if rawIn != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := c.httpClient().Do(req)
@@ -304,16 +373,7 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		return err
 	}
 	if resp.StatusCode >= 300 {
-		var env struct {
-			Error struct {
-				Code    string `json:"code"`
-				Message string `json:"message"`
-			} `json:"error"`
-		}
-		if json.Unmarshal(raw, &env) == nil && env.Error.Code != "" {
-			return &APIError{Status: resp.StatusCode, Code: env.Error.Code, Message: env.Error.Message}
-		}
-		return &APIError{Status: resp.StatusCode, Code: "unknown", Message: strings.TrimSpace(string(raw))}
+		return apiErrorFrom(resp, raw)
 	}
 	if out == nil {
 		return nil
@@ -361,31 +421,39 @@ func (c *Client) ListRuns(ctx context.Context, opts ListRunsOptions) (RunPage, e
 // expires. afterSeq > -1 resumes after that sequence number via
 // Last-Event-ID, exactly as a reconnecting SSE client would.
 func (c *Client) StreamEvents(ctx context.Context, id string, afterSeq int, fn func(Event) error) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/runs/"+url.PathEscape(id)+"/events", nil)
-	if err != nil {
-		return err
-	}
-	if afterSeq > -1 {
-		req.Header.Set("Last-Event-ID", strconv.Itoa(afterSeq))
-	}
-	resp, err := c.httpClient().Do(req)
-	if err != nil {
-		return err
+	// Only the connect phase retries: before the first byte of the stream,
+	// reconnecting cannot duplicate events. Mid-stream failures return to
+	// the caller, who resumes with afterSeq (Last-Event-ID) exactly as a
+	// reconnecting SSE client would.
+	pol := c.retry()
+	var resp *http.Response
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/runs/"+url.PathEscape(id)+"/events", nil)
+		if err != nil {
+			return err
+		}
+		if afterSeq > -1 {
+			req.Header.Set("Last-Event-ID", strconv.Itoa(afterSeq))
+		}
+		var connErr error
+		resp, connErr = c.httpClient().Do(req)
+		if connErr == nil && resp.StatusCode != http.StatusOK {
+			raw, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			connErr = apiErrorFrom(resp, raw)
+		}
+		if connErr == nil {
+			break
+		}
+		delay, retry := pol.shouldRetry(ctx, connErr, attempt, true)
+		if !retry {
+			return connErr
+		}
+		if serr := sleepCtx(ctx, delay); serr != nil {
+			return connErr
+		}
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		raw, _ := io.ReadAll(resp.Body)
-		var env struct {
-			Error struct {
-				Code    string `json:"code"`
-				Message string `json:"message"`
-			} `json:"error"`
-		}
-		if json.Unmarshal(raw, &env) == nil && env.Error.Code != "" {
-			return &APIError{Status: resp.StatusCode, Code: env.Error.Code, Message: env.Error.Message}
-		}
-		return &APIError{Status: resp.StatusCode, Code: "unknown", Message: strings.TrimSpace(string(raw))}
-	}
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
 	for sc.Scan() {

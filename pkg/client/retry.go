@@ -1,0 +1,133 @@
+package client
+
+import (
+	"context"
+	"math/rand"
+	"net/http"
+	"time"
+)
+
+// RetryPolicy controls the client's automatic retries. Retries engage in two
+// situations, with different safety rules:
+//
+//   - Enveloped 429/503 responses (queue_full, journal_full, shed_cold_bank,
+//     shutting_down, too_many_sessions, rate limits). The server rejected the
+//     request without processing it, so retrying is safe for every call. A
+//     Retry-After header is honored (capped at MaxDelay).
+//   - Transport errors (connection reset, broken pipe, unexpected EOF). The
+//     request may have been processed before the connection died, so only
+//     idempotent calls retry: GETs, and SubmitRun — which is idempotent by
+//     construction, since the daemon deduplicates submissions on their
+//     content-addressed run key and an accidental double submission coalesces
+//     onto the same run.
+//
+// Context cancellation and deadline expiry are never retried.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries including the first
+	// (0 = DefaultMaxAttempts; 1 disables retries).
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry; subsequent retries
+	// double it (0 = 100ms).
+	BaseDelay time.Duration
+	// MaxDelay caps every backoff, including server-supplied Retry-After
+	// hints (0 = 5s).
+	MaxDelay time.Duration
+	// jitterless pins the backoff to its full value instead of jittering
+	// (tests only — deterministic timing assertions).
+	jitterless bool
+}
+
+// DefaultMaxAttempts is the retry budget when RetryPolicy.MaxAttempts is 0:
+// one initial try plus three retries.
+const DefaultMaxAttempts = 4
+
+// DefaultRetryPolicy returns the policy a zero Client uses.
+func DefaultRetryPolicy() *RetryPolicy {
+	return &RetryPolicy{MaxAttempts: DefaultMaxAttempts, BaseDelay: 100 * time.Millisecond, MaxDelay: 5 * time.Second}
+}
+
+// NoRetry returns a policy that disables retries entirely.
+func NoRetry() *RetryPolicy { return &RetryPolicy{MaxAttempts: 1} }
+
+func (p *RetryPolicy) maxAttempts() int {
+	if p.MaxAttempts <= 0 {
+		return DefaultMaxAttempts
+	}
+	return p.MaxAttempts
+}
+
+func (p *RetryPolicy) baseDelay() time.Duration {
+	if p.BaseDelay <= 0 {
+		return 100 * time.Millisecond
+	}
+	return p.BaseDelay
+}
+
+func (p *RetryPolicy) maxDelay() time.Duration {
+	if p.MaxDelay <= 0 {
+		return 5 * time.Second
+	}
+	return p.MaxDelay
+}
+
+// retryableStatus reports whether an HTTP status signals a transient
+// rejection the server did not process.
+func retryableStatus(status int) bool {
+	return status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable
+}
+
+// backoff computes the delay before retry number attempt (0-based), folding
+// in the server's Retry-After hint when present. Exponential in attempt with
+// full jitter — uniformly drawn from [delay/2, delay] — so a thundering herd
+// of rejected clients decorrelates instead of returning in lockstep.
+func (p *RetryPolicy) backoff(attempt int, serverHint time.Duration) time.Duration {
+	d := p.baseDelay() << attempt
+	if d > p.maxDelay() || d <= 0 { // <= 0: shift overflow
+		d = p.maxDelay()
+	}
+	if serverHint > d {
+		d = serverHint
+	}
+	if d > p.maxDelay() {
+		d = p.maxDelay()
+	}
+	if !p.jitterless {
+		d = d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+	}
+	return d
+}
+
+// shouldRetry decides whether err (from attempt, 0-based) warrants another
+// try, and with what delay.
+func (p *RetryPolicy) shouldRetry(ctx context.Context, err error, attempt int, idempotent bool) (time.Duration, bool) {
+	if attempt >= p.maxAttempts()-1 || ctx.Err() != nil {
+		return 0, false
+	}
+	if ae, ok := err.(*APIError); ok {
+		if !retryableStatus(ae.Status) {
+			return 0, false
+		}
+		return p.backoff(attempt, time.Duration(ae.RetryAfter)*time.Second), true
+	}
+	// Anything that is not an APIError is a transport failure: the request
+	// may or may not have reached the server, so only idempotent calls retry.
+	if !idempotent {
+		return 0, false
+	}
+	return p.backoff(attempt, 0), true
+}
+
+// sleepCtx waits for d or until ctx is done, whichever is first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

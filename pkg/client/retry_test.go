@@ -1,0 +1,232 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fastRetry is a test policy with negligible delays so flaky-server tests
+// stay fast, and no jitter so attempt counts are deterministic.
+func fastRetry(attempts int) *RetryPolicy {
+	return &RetryPolicy{MaxAttempts: attempts, BaseDelay: time.Millisecond, MaxDelay: 4 * time.Millisecond, jitterless: true}
+}
+
+// flakyServer fails the first n requests per path with fail, then delegates
+// to ok.
+func flakyServer(t *testing.T, n int64, fail, ok http.HandlerFunc) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= n {
+			fail(w, r)
+			return
+		}
+		ok(w, r)
+	}))
+	t.Cleanup(ts.Close)
+	return ts, &calls
+}
+
+func reject503(code string, retryAfter int) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if retryAfter > 0 {
+			w.Header().Set("Retry-After", fmt.Sprint(retryAfter))
+		}
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintf(w, `{"error":{"code":%q,"message":"try later"}}`, code)
+	}
+}
+
+func healthOK(w http.ResponseWriter, r *http.Request) {
+	fmt.Fprint(w, `{"status":"ok","uptime":"1s"}`)
+}
+
+func TestRetryOn503ThenSuccess(t *testing.T) {
+	ts, calls := flakyServer(t, 2, reject503("queue_full", 0), healthOK)
+	c := New(ts.URL)
+	c.Retry = fastRetry(4)
+	h, err := c.GetHealth(context.Background())
+	if err != nil {
+		t.Fatalf("GetHealth after flaky 503s: %v", err)
+	}
+	if h.Status != "ok" {
+		t.Errorf("status = %q", h.Status)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("server saw %d requests, want 3 (two 503s + success)", got)
+	}
+}
+
+func TestRetryBudgetCapped(t *testing.T) {
+	ts, calls := flakyServer(t, 1000, reject503("queue_full", 0), healthOK)
+	c := New(ts.URL)
+	c.Retry = fastRetry(3)
+	_, err := c.GetHealth(context.Background())
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Status != http.StatusServiceUnavailable {
+		t.Fatalf("err = %v, want terminal 503 APIError", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("server saw %d requests, want exactly MaxAttempts=3", got)
+	}
+}
+
+func TestRetryHonorsRetryAfter(t *testing.T) {
+	// Retry-After: 1 (second) must dominate the 1ms base delay — but stays
+	// capped at MaxDelay, so the test asserts a delay in between.
+	ts, _ := flakyServer(t, 1, reject503("shed_cold_bank", 1), healthOK)
+	c := New(ts.URL)
+	c.Retry = &RetryPolicy{MaxAttempts: 2, BaseDelay: time.Millisecond, MaxDelay: 150 * time.Millisecond, jitterless: true}
+	start := time.Now()
+	if _, err := c.GetHealth(context.Background()); err != nil {
+		t.Fatalf("GetHealth: %v", err)
+	}
+	elapsed := time.Since(start)
+	if elapsed < 100*time.Millisecond {
+		t.Errorf("retried after %s; Retry-After hint (capped at MaxDelay=150ms) not honored", elapsed)
+	}
+}
+
+func TestNoRetryOn4xx(t *testing.T) {
+	ts, calls := flakyServer(t, 1000, func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusBadRequest)
+		fmt.Fprint(w, `{"error":{"code":"bad_request","message":"nope"}}`)
+	}, healthOK)
+	c := New(ts.URL)
+	c.Retry = fastRetry(5)
+	_, err := c.GetHealth(context.Background())
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Code != "bad_request" {
+		t.Fatalf("err = %v, want bad_request APIError", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("server saw %d requests, want 1 (4xx is not retryable)", got)
+	}
+}
+
+func TestTransportErrorRetriesIdempotentOnly(t *testing.T) {
+	// A handler that hijacks and slams the connection produces the
+	// connection-reset class of transport error on the client side.
+	reset := func(w http.ResponseWriter, r *http.Request) {
+		conn, _, err := w.(http.Hijacker).Hijack()
+		if err != nil {
+			t.Fatalf("hijack: %v", err)
+		}
+		conn.Close()
+	}
+
+	t.Run("GET retries", func(t *testing.T) {
+		ts, calls := flakyServer(t, 2, reset, healthOK)
+		c := New(ts.URL)
+		c.Retry = fastRetry(4)
+		if _, err := c.GetHealth(context.Background()); err != nil {
+			t.Fatalf("GetHealth after connection resets: %v", err)
+		}
+		if got := calls.Load(); got != 3 {
+			t.Errorf("server saw %d requests, want 3", got)
+		}
+	})
+
+	t.Run("SubmitRun retries (dedup makes it idempotent)", func(t *testing.T) {
+		ts, calls := flakyServer(t, 1, reset, func(w http.ResponseWriter, r *http.Request) {
+			w.WriteHeader(http.StatusAccepted)
+			fmt.Fprint(w, `{"id":"run-000001","state":"queued"}`)
+		})
+		c := New(ts.URL)
+		c.Retry = fastRetry(4)
+		st, err := c.SubmitRun(context.Background(), RunRequest{Dataset: "cifar10", Method: "rs"})
+		if err != nil {
+			t.Fatalf("SubmitRun after reset: %v", err)
+		}
+		if st.ID != "run-000001" || calls.Load() != 2 {
+			t.Errorf("id=%q calls=%d, want run-000001 after 2 requests", st.ID, calls.Load())
+		}
+	})
+
+	t.Run("ask/tell does not retry transport errors", func(t *testing.T) {
+		ts, calls := flakyServer(t, 1000, reset, healthOK)
+		c := New(ts.URL)
+		c.Retry = fastRetry(5)
+		_, err := c.Ask(context.Background(), "sess-000001")
+		if err == nil {
+			t.Fatal("Ask over a resetting connection succeeded")
+		}
+		if got := calls.Load(); got != 1 {
+			t.Errorf("server saw %d requests, want 1 (non-idempotent POST must not retry a transport error)", got)
+		}
+	})
+}
+
+func TestRetryStops503OnNonIdempotentToo(t *testing.T) {
+	// A 503 rejection was never processed, so even ask/tell POSTs retry it.
+	ts, calls := flakyServer(t, 1, reject503("too_many_sessions", 0), func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"asks":[],"done":true,"state":"done"}`)
+	})
+	c := New(ts.URL)
+	c.Retry = fastRetry(3)
+	resp, err := c.Ask(context.Background(), "sess-000001")
+	if err != nil || !resp.Done {
+		t.Fatalf("Ask = %+v, %v", resp, err)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Errorf("server saw %d requests, want 2", got)
+	}
+}
+
+func TestRetryRespectsContextCancel(t *testing.T) {
+	ts, _ := flakyServer(t, 1000, reject503("queue_full", 30), healthOK)
+	c := New(ts.URL)
+	c.Retry = &RetryPolicy{MaxAttempts: 10, BaseDelay: 50 * time.Millisecond, MaxDelay: time.Minute, jitterless: true}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.GetHealth(ctx)
+	if err == nil {
+		t.Fatal("GetHealth succeeded against a permanently rejecting server")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("cancelled call took %s; retries ignored the context", elapsed)
+	}
+}
+
+func TestStreamEventsRetriesConnect(t *testing.T) {
+	ts, calls := flakyServer(t, 2, reject503("shutting_down", 0), func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, `{"seq":0,"type":"state","state":"queued"}`)
+		fmt.Fprintln(w, `{"seq":1,"type":"state","state":"done"}`)
+	})
+	c := New(ts.URL)
+	c.Retry = fastRetry(4)
+	var seen []int
+	err := c.StreamEvents(context.Background(), "run-000001", -1, func(e Event) error {
+		seen = append(seen, e.Seq)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("StreamEvents: %v", err)
+	}
+	if len(seen) != 2 || seen[0] != 0 || seen[1] != 1 {
+		t.Errorf("events = %v, want [0 1]", seen)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("server saw %d requests, want 3", got)
+	}
+}
+
+func TestBackoffGrowsAndCaps(t *testing.T) {
+	p := &RetryPolicy{BaseDelay: 10 * time.Millisecond, MaxDelay: 45 * time.Millisecond, jitterless: true}
+	for i, want := range []time.Duration{10, 20, 40, 45, 45} {
+		if got := p.backoff(i, 0); got != want*time.Millisecond {
+			t.Errorf("backoff(%d) = %s, want %s", i, got, want*time.Millisecond)
+		}
+	}
+	// A huge attempt index must not overflow the shift into a negative delay.
+	if got := p.backoff(62, 0); got != 45*time.Millisecond {
+		t.Errorf("backoff(62) = %s, want capped 45ms", got)
+	}
+}
