@@ -8,6 +8,8 @@
 #   make bench-json  gated hot-path benchmarks -> BENCH_latest.json
 #   make bench-check bench-json + fail on >25% ns/op regression vs
 #                    the committed BENCH_baseline.json (tools/benchdiff)
+#   make fuzz        short coverage-guided fuzz pass over the two bank
+#                    codecs (bankfmt/v3 frame, bankfmt/v4 segment container)
 #   make figures     quick-scale figure regeneration through the bank cache
 #   make serve       run the noisyevald tuning daemon on $(SERVE_ADDR)
 #   make serve-smoke boot noisyevald, drive runs + an ask/tell session via pkg/client
@@ -24,7 +26,7 @@ GO         ?= go
 CACHE_DIR  ?= $(HOME)/.cache/noisyeval-banks
 SERVE_ADDR ?= 127.0.0.1:8723
 
-.PHONY: build lint test race bench bench-json bench-check figures serve serve-smoke cluster-smoke crash-smoke clean
+.PHONY: build lint test race bench bench-json bench-check fuzz figures serve serve-smoke cluster-smoke crash-smoke clean
 
 build:
 	$(GO) build ./...
@@ -51,7 +53,7 @@ bench:
 # The gated benchmarks run at a real -benchtime (unlike the 1x smoke pass)
 # so their ns/op is stable enough to diff against the committed baseline.
 bench-json:
-	NOISYEVAL_CACHE_DIR=$(CACHE_DIR) $(GO) test -bench 'BenchmarkFederatedRound$$|BenchmarkBankBuild$$|BenchmarkBankEncode$$|BenchmarkBankDecode$$|BenchmarkOracleTrials$$' -benchmem -benchtime 2s -run '^$$' . | tee bench-gated.out
+	NOISYEVAL_CACHE_DIR=$(CACHE_DIR) $(GO) test -bench 'BenchmarkFederatedRound$$|BenchmarkBankBuild$$|BenchmarkBankEncode$$|BenchmarkBankDecode$$|BenchmarkBankOpenMmap$$|BenchmarkOracleTrials$$|BenchmarkOracleTrialsMapped$$' -benchmem -benchtime 2s -run '^$$' . | tee bench-gated.out
 	$(GO) run ./tools/bench2json < bench-gated.out > BENCH_latest.json
 
 # ns/op and B/op gate at 25% over the committed baseline (refreshed when a
@@ -60,8 +62,16 @@ bench-json:
 # machine-independently. See tools/benchdiff.
 bench-check: bench-json
 	$(GO) run ./tools/benchdiff -baseline BENCH_baseline.json -latest BENCH_latest.json \
-		-bench BenchmarkFederatedRound,BenchmarkBankBuild,BenchmarkBankEncode,BenchmarkBankDecode,BenchmarkOracleTrials \
+		-bench BenchmarkFederatedRound,BenchmarkBankBuild,BenchmarkBankEncode,BenchmarkBankDecode,BenchmarkBankOpenMmap,BenchmarkOracleTrials,BenchmarkOracleTrialsMapped \
 		-max-regress 0.25 -max-allocs-frac 1.25
+
+# Coverage-guided fuzzing of the two bank codecs, 15s each: the v3
+# monolithic frame (FuzzBankDecode) and the v4 segment container
+# (FuzzBankV4, seeded with torn-segment / CRC-flip / duplicate-segment
+# corpora). A crash writes its input to testdata/fuzz for triage.
+fuzz:
+	$(GO) test -run '^$$' -fuzz 'FuzzBankDecode$$' -fuzztime 15s ./internal/core
+	$(GO) test -run '^$$' -fuzz 'FuzzBankV4$$' -fuzztime 15s ./internal/core
 
 figures:
 	$(GO) run ./cmd/figures -quick -cache-dir $(CACHE_DIR) -out results

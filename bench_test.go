@@ -429,6 +429,64 @@ func BenchmarkOracleTrials(b *testing.B) {
 	b.ReportMetric(float64(100*b.N)/b.Elapsed().Seconds(), "trials/s")
 }
 
+// BenchmarkBankOpenMmap measures opening a bankfmt/v4 segmented bank for
+// zero-copy serving (header + segment-directory walk, no payload reads) —
+// the mmap-mode cache-hit path. Contrast with BenchmarkBankDecode, which
+// pays the full v3 arena decode for the same content; open cost is
+// O(segment count), independent of arena size.
+func BenchmarkBankOpenMmap(b *testing.B) {
+	path := b.TempDir() + "/bench.bank"
+	if err := core.SaveBankV4(codecBenchBank, path); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bank, closer, err := core.OpenBankMapped(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(bank.Configs) != len(codecBenchBank.Configs) {
+			b.Fatal("short bank")
+		}
+		closer.Close()
+	}
+}
+
+// BenchmarkOracleTrialsMapped is BenchmarkOracleTrials against a
+// segment-backed bank served zero-copy from an mmap'd bankfmt/v4 file: the
+// oracle reads rows straight out of the page cache. Same workload as the
+// heap benchmark so the numbers compare directly; the read path itself adds
+// no allocations over heap.
+func BenchmarkOracleTrialsMapped(b *testing.B) {
+	path := b.TempDir() + "/bench.bank"
+	if err := core.SaveBankV4(codecBenchBank, path); err != nil {
+		b.Fatal(err)
+	}
+	bank, closer, err := core.OpenBankMapped(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer closer.Close()
+	oracle, err := core.NewBankOracle(bank, 0, noisyeval.SchemeWithCount(10), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tn := core.Tuner{
+		Method:   hpo.RandomSearch{},
+		Space:    hpo.DefaultSpace(),
+		Settings: hpo.Settings{Budget: hpo.Budget{TotalRounds: 8 * 405, MaxPerConfig: 405, K: 8}}.Normalize(),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results := tn.RunTrials(oracle, 100, rng.New(uint64(i)).Split("bench-trials"))
+		if len(results) != 100 {
+			b.Fatal("short trial batch")
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(100*b.N)/b.Elapsed().Seconds(), "trials/s")
+}
+
 // --- Ablation benchmarks (DESIGN.md §5) ---
 
 // runRSTrials is the shared ablation harness: bootstrap RS over the

@@ -1,10 +1,14 @@
 // Command bank builds a config bank (the study's reusable training
 // artifact) for one dataset and writes it to disk for cmd/figures and
-// cmd/fedtune to reuse.
+// cmd/fedtune to reuse. It can also inspect a bank file of any format
+// generation and grow an existing bank in place with freshly trained
+// configs.
 //
 // Usage:
 //
 //	bank -dataset cifar10 -out results/banks/cifar10.bank -scale 1.0 -configs 128 -rounds 405
+//	bank -info results/banks/cifar10.bank
+//	bank -grow 16 -dataset cifar10 -out results/banks/cifar10.bank -scale 1.0 -rounds 405
 package main
 
 import (
@@ -18,6 +22,7 @@ import (
 
 	"noisyeval/internal/core"
 	"noisyeval/internal/data"
+	"noisyeval/internal/fl"
 	"noisyeval/internal/rng"
 )
 
@@ -36,8 +41,17 @@ func main() {
 		partitions = flag.String("partitions", "0.5,1", "extra iid-repartition fractions (comma-separated)")
 		workers    = flag.Int("workers", 0, "build parallelism (0 = GOMAXPROCS)")
 		cacheDir   = flag.String("cache-dir", "", "content-addressed bank cache directory (skip training on hit)")
+		info       = flag.String("info", "", "inspect the bank file at this path and exit (no training)")
+		grow       = flag.Int("grow", 0, "grow the existing bank at -out by N configs instead of building (pass the original build flags)")
 	)
 	flag.Parse()
+
+	if *info != "" {
+		if err := printInfo(*info); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	spec, err := specByName(*dataset)
 	if err != nil {
@@ -72,6 +86,13 @@ func main() {
 	opts.Partitions = ps
 	opts.Workers = *workers
 
+	if *grow > 0 {
+		if err := growBank(path, pop, opts, *seed, *grow, *workers); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
 	var store *core.BankStore
 	if *cacheDir != "" {
 		store, err = core.NewBankStore(*cacheDir)
@@ -97,8 +118,116 @@ func main() {
 	if err := core.SaveBank(bank, path); err != nil {
 		log.Fatal(err)
 	}
-	info, _ := os.Stat(path)
-	log.Printf("wrote %s (%d bytes)", path, info.Size())
+	fi, _ := os.Stat(path)
+	log.Printf("wrote %s (%d bytes)", path, fi.Size())
+}
+
+// printInfo renders an InspectBank report. A torn or corrupt file still
+// prints whatever is intact before the error surfaces, so the report is
+// usable for diagnosing exactly where a file went bad.
+func printInfo(path string) error {
+	bi, err := core.InspectBank(path)
+	if bi == nil {
+		return err
+	}
+	format := map[int]string{
+		0: "legacy gob+gzip",
+		3: "bankfmt/v3",
+		4: "bankfmt/v4 (segmented, mmap-served)",
+	}[bi.Version]
+	if format == "" {
+		format = fmt.Sprintf("unknown (version %d)", bi.Version)
+	}
+	fmt.Printf("bank:      %s\n", bi.Path)
+	fmt.Printf("format:    %s\n", format)
+	if len(bi.Flags) > 0 {
+		fmt.Printf("flags:     %s\n", strings.Join(bi.Flags, ","))
+	}
+	if bi.SpecName != "" {
+		fmt.Printf("spec:      %s (seed %d)\n", bi.SpecName, bi.Seed)
+	}
+	if bi.Dims != [4]int{} {
+		fmt.Printf("dims:      %d partitions x %d configs x %d checkpoints x %d clients\n",
+			bi.Dims[0], bi.Dims[1], bi.Dims[2], bi.Dims[3])
+	}
+	fmt.Printf("on disk:   %d bytes\n", bi.FileBytes)
+	if bi.ArenaBytes > 0 {
+		how := "decoded to heap on load"
+		if bi.Version == 4 {
+			how = "mapped zero-copy on open"
+		}
+		fmt.Printf("arena:     %d bytes (%s)\n", bi.ArenaBytes, how)
+	}
+	if bi.Version == 3 {
+		fmt.Printf("metadata:  %d bytes; bulk %d floats\n", bi.MetaBytes, bi.FloatCount)
+	}
+	if len(bi.Segments) > 0 {
+		fmt.Printf("segments:\n")
+		for _, s := range bi.Segments {
+			crc, live := "ok", ""
+			if !s.CRCOK {
+				crc = "BAD"
+			}
+			if s.Live {
+				live = "  live"
+			}
+			span := ""
+			if s.Kind == "arena" {
+				span = fmt.Sprintf("  configs [%d,%d)", s.Lo, s.Hi)
+			}
+			fmt.Printf("  #%d %-7s seq %-3d off %-10d bytes %-12d crc %s%s%s\n",
+				s.Index, s.Kind, s.Seq, s.Offset, s.Bytes, crc, span, live)
+		}
+	}
+	if bi.Torn != "" {
+		fmt.Printf("torn:      %s\n", bi.Torn)
+	}
+	return err
+}
+
+// growBank extends the bank at path by add freshly trained configs: exactly
+// the new index range is trained, then appended in place as bankfmt/v4
+// segments (a v3 file is rewritten as v4 first). The extra configs derive
+// deterministically from the bank's own seed, spec, and pool size, so a
+// retried grow converges to the same bytes and the grown bank matches a
+// cold build over the union pool. The remaining flags must repeat the
+// original build's inputs — Extend verifies them against the bank.
+func growBank(path string, pop *data.Population, opts core.BuildOptions, seed uint64, add, workers int) error {
+	old, err := core.LoadBank(path)
+	if err != nil {
+		return err
+	}
+	bi, err := core.InspectBank(path)
+	if err != nil {
+		return err
+	}
+	if bi.Version != 4 {
+		log.Printf("rewriting %s as segmented bankfmt/v4 (was version %d)...", path, bi.Version)
+		if err := core.SaveBankV4(old, path); err != nil {
+			return err
+		}
+	}
+	cur := old.Configs
+	extra := opts.Space.SampleN(add, rng.New(old.Seed).Splitf("grow-%s-%d", old.SpecName, len(cur)))
+	union := append(append([]fl.HParams{}, cur...), extra...)
+	opts.Configs = union
+	plan, err := core.NewBuildPlan(pop, opts, seed)
+	if err != nil {
+		return err
+	}
+	log.Printf("training %d new configs [%d,%d)...", add, len(cur), len(union))
+	start := time.Now()
+	shard, err := plan.TrainRange(len(cur), len(union), workers)
+	if err != nil {
+		return err
+	}
+	grown, err := core.ExtendBankV4(path, plan, []*core.BankShard{shard})
+	if err != nil {
+		return err
+	}
+	fi, _ := os.Stat(path)
+	log.Printf("grew %s to %d configs (%d bytes, %s)", path, len(grown.Configs), fi.Size(), time.Since(start).Round(time.Millisecond))
+	return nil
 }
 
 func specByName(name string) (data.Spec, error) {

@@ -69,6 +69,7 @@ func main() {
 		journalComp   = flag.Int64("journal-compact-bytes", 0, "WAL size that triggers background compaction into a snapshot (0 = budget/4)")
 		shedThreshold = flag.Float64("shed-threshold", 0, "shed cold-bank submissions once the queue holds this fraction of -queue (e.g. 0.5; <= 0 disables shedding)")
 		execDelay     = flag.Duration("exec-delay", 0, "fault injection: pad every run's execution by this duration so crash/load harnesses can catch runs in flight (0 = off)")
+		mmapBanks     = flag.Bool("mmap-banks", false, "serve cached banks zero-copy from mmap'd bankfmt/v4 files instead of decoding to heap (requires -cache-dir)")
 	)
 	flag.Parse()
 
@@ -82,7 +83,14 @@ func main() {
 		store.Logf = log.Printf
 		log.Printf("bank cache at %s", store.Dir())
 		core.BoundCache(store, *cacheMaxBytes, log.Printf)
+		if *mmapBanks {
+			store.SetMapped(true)
+			log.Printf("bank cache mmap mode: v4 banks served zero-copy, writes use bankfmt/v4")
+		}
 	} else {
+		if *mmapBanks {
+			log.Fatal("-mmap-banks requires -cache-dir")
+		}
 		log.Printf("no -cache-dir: banks rebuilt per daemon lifetime (in-memory suite cache only)")
 	}
 

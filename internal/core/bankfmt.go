@@ -347,10 +347,24 @@ func parseBankMeta(meta []byte) (*Bank, error) {
 	b := &Bank{}
 	b.SpecName = r.str("spec name")
 	b.Seed = r.u64("seed")
-	nc := r.count(hparamsFloats*8+16, "configs")
+	const hparamsBytes = hparamsFloats*8 + 16
+	nc := r.count(hparamsBytes, "configs")
 	b.Configs = make([]fl.HParams, nc)
-	for i := range b.Configs {
-		b.Configs[i] = r.hparams()
+	if raw := r.take(nc*hparamsBytes, "configs"); raw != nil {
+		for i := range b.Configs {
+			f := raw[i*hparamsBytes:]
+			b.Configs[i] = fl.HParams{
+				ServerLR:       math.Float64frombits(binary.LittleEndian.Uint64(f[0:])),
+				Beta1:          math.Float64frombits(binary.LittleEndian.Uint64(f[8:])),
+				Beta2:          math.Float64frombits(binary.LittleEndian.Uint64(f[16:])),
+				LRDecay:        math.Float64frombits(binary.LittleEndian.Uint64(f[24:])),
+				ClientLR:       math.Float64frombits(binary.LittleEndian.Uint64(f[32:])),
+				ClientMomentum: math.Float64frombits(binary.LittleEndian.Uint64(f[40:])),
+				WeightDecay:    math.Float64frombits(binary.LittleEndian.Uint64(f[48:])),
+				BatchSize:      int(int64(binary.LittleEndian.Uint64(f[56:]))),
+				Epochs:         int(int64(binary.LittleEndian.Uint64(f[64:]))),
+			}
+		}
 	}
 	nr := r.count(8, "rounds")
 	b.Rounds = make([]int, nr)
@@ -367,15 +381,14 @@ func parseBankMeta(meta []byte) (*Bank, error) {
 	if r.err == nil && (cols < 0 || rows > 0 && cols > (len(r.b)-r.off)/(8*rows)) {
 		r.fail("example count cols")
 	}
-	if r.err == nil {
+	if raw := r.take(rows*cols*8, "example counts"); raw != nil {
 		b.ExampleCounts = make([][]int, rows)
 		flat := make([]int, rows*cols)
+		for k := range flat {
+			flat[k] = int(int64(binary.LittleEndian.Uint64(raw[k*8:])))
+		}
 		for i := range b.ExampleCounts {
-			row := flat[i*cols : (i+1)*cols]
-			for j := range row {
-				row[j] = int(r.i64("example count"))
-			}
-			b.ExampleCounts[i] = row
+			b.ExampleCounts[i] = flat[i*cols : (i+1)*cols]
 		}
 	}
 	nd := r.count(1, "diverged")
@@ -757,10 +770,22 @@ func EncodeBank(w io.Writer, b *Bank) error {
 	if err := b.Validate(); err != nil {
 		return fmt.Errorf("core: refusing to encode invalid bank: %w", err)
 	}
-	if err := writeFrame(w, bankMagic, appendBankMeta(nil, b), b.Errs.Data); err != nil {
+	if err := writeFrame(w, bankMagic, appendBankMeta(nil, b), b.Errs.Arena()); err != nil {
 		return fmt.Errorf("core: encode bank: %w", err)
 	}
 	return nil
+}
+
+// v3Corrupt wraps a v3 frame failure into the coded CorruptError, naming
+// the section and its starting offset so a truncated or bit-rotted file
+// reports where it failed instead of a bare CRC mismatch. Stale-format
+// errors (legacy gob+gzip, future version) pass through unwrapped — they
+// are lifecycle events, not corruption.
+func v3Corrupt(section string, offset int64, err error) error {
+	if IsStaleBankFormat(err) {
+		return err
+	}
+	return &CorruptError{Section: section, Segment: -1, Offset: offset, Err: err}
 }
 
 // decodeBankBinary reads one EncodeBank stream.
@@ -768,22 +793,22 @@ func decodeBankBinary(r io.Reader) (*Bank, error) {
 	br := bufio.NewReaderSize(r, 32<<10)
 	fh, err := readHeader(br, bankMagic, "bank")
 	if err != nil {
-		return nil, err
+		return nil, v3Corrupt("header", 0, err)
 	}
 	if int64(fh.floatCount) > maxBankFloatBytes/8 {
 		return nil, fmt.Errorf("core: bank bulk section of %d floats exceeds the %d-byte cap", fh.floatCount, int64(maxBankFloatBytes))
 	}
 	p, err := openPayload(br, fh, "bank")
 	if err != nil {
-		return nil, err
+		return nil, v3Corrupt("metadata", bankfmtHeaderLen, err)
 	}
 	meta, err := p.meta()
 	if err != nil {
-		return nil, err
+		return nil, v3Corrupt("metadata", bankfmtHeaderLen, err)
 	}
 	b, err := parseBankMeta(meta)
 	if err != nil {
-		return nil, err
+		return nil, v3Corrupt("metadata", bankfmtHeaderLen, err)
 	}
 	clients := 0
 	if len(b.ExampleCounts) > 0 {
@@ -804,7 +829,7 @@ func decodeBankBinary(r io.Reader) (*Bank, error) {
 	}
 	dims.Data = make([]float64, want)
 	if err := p.bulk(dims.Data); err != nil {
-		return nil, err
+		return nil, v3Corrupt("bulk", int64(bankfmtHeaderLen+fh.metaLen), err)
 	}
 	b.Errs = dims
 	return b, nil

@@ -172,10 +172,20 @@ func TestBankCodecFormatGenerations(t *testing.T) {
 	}
 
 	raw := encodeBankBytes(t, b)
+	// Version 4 is the segmented format (bankv4.go), so the first FUTURE
+	// generation is 5: it must classify as stale, not as corruption.
 	future := append([]byte(nil), raw...)
-	binary.LittleEndian.PutUint16(future[6:8], bankfmtVersion+1)
+	binary.LittleEndian.PutUint16(future[6:8], bankfmtVersion+2)
 	if _, err := DecodeBank(bytes.NewReader(future)); !errors.Is(err, ErrUnknownBankVersion) {
 		t.Errorf("future version: err = %v, want ErrUnknownBankVersion", err)
+	}
+	// A v3 frame restamped as v4 routes to the segment layer and fails its
+	// header checksum — located corruption, not a stale format.
+	fakeV4 := append([]byte(nil), raw...)
+	binary.LittleEndian.PutUint16(fakeV4[6:8], bankfmtVersion+1)
+	var ce *CorruptError
+	if _, err := DecodeBank(bytes.NewReader(fakeV4)); !errors.As(err, &ce) || IsStaleBankFormat(err) {
+		t.Errorf("v3 frame restamped v4: err = %v, want CorruptError", err)
 	}
 	flagged := append([]byte(nil), raw...)
 	binary.LittleEndian.PutUint32(flagged[8:12], knownFlags|0x80)

@@ -1,0 +1,59 @@
+package bankseg
+
+import (
+	"encoding/binary"
+	"math"
+	"unsafe"
+)
+
+// nativeLittleEndian reports whether the host's byte order matches the
+// on-disk little-endian payload encoding, decided once at init.
+var nativeLittleEndian = func() bool {
+	var probe uint16 = 1
+	return *(*byte)(unsafe.Pointer(&probe)) == 1
+}()
+
+// Float64s reinterprets a segment payload as a []float64 view without
+// copying. It returns ok=false when the zero-copy cast is unsound — host is
+// big-endian, length is not a multiple of 8, or the payload is not 8-byte
+// aligned (never the case for aligned segment payloads, but checked anyway).
+// Callers fall back to CopyFloat64s.
+func Float64s(payload []byte) (vals []float64, ok bool) {
+	if !nativeLittleEndian || len(payload)%8 != 0 {
+		return nil, false
+	}
+	if len(payload) == 0 {
+		return []float64{}, true
+	}
+	p := unsafe.Pointer(unsafe.SliceData(payload))
+	if uintptr(p)%8 != 0 {
+		return nil, false
+	}
+	return unsafe.Slice((*float64)(p), len(payload)/8), true
+}
+
+// CopyFloat64s decodes a little-endian float64 payload into a fresh slice —
+// the portable path for big-endian hosts and heap materialization.
+func CopyFloat64s(payload []byte) []float64 {
+	out := make([]float64, len(payload)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[i*8:]))
+	}
+	return out
+}
+
+// AppendFloat64s encodes vals as the little-endian payload bytes of an
+// arena segment. On little-endian hosts this is one reinterpretation and
+// copy; elsewhere it encodes element-wise.
+func AppendFloat64s(dst []byte, vals []float64) []byte {
+	if nativeLittleEndian && len(vals) > 0 {
+		raw := unsafe.Slice((*byte)(unsafe.Pointer(unsafe.SliceData(vals))), len(vals)*8)
+		return append(dst, raw...)
+	}
+	var buf [8]byte
+	for _, v := range vals {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		dst = append(dst, buf[:]...)
+	}
+	return dst
+}

@@ -4,7 +4,9 @@ import (
 	"crypto/sha256"
 	"encoding/gob"
 	"encoding/hex"
+	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -114,6 +116,11 @@ type StoreStats struct {
 	// encoding; they rebuild transparently and this counter is the only
 	// trace. Included in Evicted.
 	StaleFormat int64
+	// CorruptSegment counts evictions whose cause was located corruption —
+	// the decoder identified the failing section or segment (truncation,
+	// CRC mismatch; see CorruptError) rather than a stale format. Included
+	// in Evicted.
+	CorruptSegment int64
 }
 
 // BankStore is a content-addressed on-disk bank cache. Entries are the
@@ -136,7 +143,25 @@ type BankStore struct {
 
 	maxBytes atomic.Int64 // size bound enforced after each Put (0 = unlimited)
 
-	hits, misses, builds, evicted, staleFormat atomic.Int64
+	// mapMode switches Get/Put onto the bankfmt/v4 mmap path (SetMapped).
+	mapMode atomic.Bool
+	// mapMu guards the mapped-entry table and the retired mappings.
+	mapMu  sync.Mutex
+	mapped map[string]*mappedBank
+	// retired holds mappings whose key was overwritten by a newer Put.
+	// They stay mapped (a reader may still hold the old bank's views) and
+	// are only released by Close.
+	retired []io.Closer
+
+	hits, misses, builds, evicted, staleFormat, corruptSegment atomic.Int64
+}
+
+// mappedBank is one live mmap-served cache entry.
+type mappedBank struct {
+	bank   *Bank
+	closer io.Closer
+	bytes  int64 // on-disk (and mapped) size
+	zero   bool  // true when actually mmap-backed, false for heap fallback
 }
 
 // storeCall deduplicates concurrent GetOrBuild calls for one key
@@ -155,7 +180,7 @@ func NewBankStore(dir string) (*BankStore, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("core: bank store: %w", err)
 	}
-	return &BankStore{dir: dir, inflight: map[string]*storeCall{}}, nil
+	return &BankStore{dir: dir, inflight: map[string]*storeCall{}, mapped: map[string]*mappedBank{}}, nil
 }
 
 // Dir returns the cache root.
@@ -192,6 +217,9 @@ func (s *BankStore) Get(key string) (*Bank, error) {
 	if s == nil {
 		return nil, nil
 	}
+	if s.mapMode.Load() {
+		return s.getMapped(key)
+	}
 	path := s.Path(key)
 	f, err := os.Open(path)
 	if err != nil {
@@ -199,21 +227,9 @@ func (s *BankStore) Get(key string) (*Bank, error) {
 		return nil, nil
 	}
 	defer f.Close()
-	b, err := decodeBank(f)
+	b, err := decodeBankAuto(f)
 	if err != nil {
-		// Truncated write, bit rot, or a stale encoding generation: drop the
-		// entry and treat as a miss so the caller rebuilds it. A stale
-		// format is an expected lifecycle event (the codec version moved
-		// on), so it gets its own stat and a log line instead of silence.
-		os.Remove(path)
-		s.evicted.Add(1)
-		s.misses.Add(1)
-		if IsStaleBankFormat(err) {
-			s.staleFormat.Add(1)
-			if s.Logf != nil {
-				s.Logf("bank store: evicting stale-format entry %s (will rebuild): %v", key, err)
-			}
-		}
+		s.evictBroken(key, path, err)
 		return nil, nil
 	}
 	s.hits.Add(1)
@@ -224,15 +240,148 @@ func (s *BankStore) Get(key string) (*Bank, error) {
 	return b, nil
 }
 
-// Put writes the bank under key atomically (SaveBank's temp-file + fsync +
-// rename), so readers only ever observe complete, durable entries.
+// evictBroken drops an entry that failed to decode and classifies the
+// failure: stale formats and located corruption each get their own stat and
+// a log line (a stale format is an expected lifecycle event; corruption
+// names the failing segment/offset so bit rot is diagnosable), everything
+// else counts only as a generic eviction.
+func (s *BankStore) evictBroken(key, path string, err error) {
+	os.Remove(path)
+	s.evicted.Add(1)
+	s.misses.Add(1)
+	var ce *CorruptError
+	switch {
+	case IsStaleBankFormat(err):
+		s.staleFormat.Add(1)
+		if s.Logf != nil {
+			s.Logf("bank store: evicting stale-format entry %s (will rebuild): %v", key, err)
+		}
+	case errors.As(err, &ce):
+		s.corruptSegment.Add(1)
+		if s.Logf != nil {
+			s.Logf("bank store: evicting corrupt entry %s (will rebuild): %v", key, err)
+		}
+	}
+}
+
+// SetMapped switches the store into memory-mapped serving mode: Put writes
+// bankfmt/v4 entries (SaveBankV4) and Get serves them through OpenBankMapped
+// — mmap'd, zero-copy, open cost O(segment count). Mapped entries stay
+// resident (and Prune never unlinks them) until Close. v3 entries and
+// platforms without mmap degrade to a heap decode transparently. Flip the
+// mode before concurrent use.
+func (s *BankStore) SetMapped(on bool) {
+	if s == nil {
+		return
+	}
+	s.mapMode.Store(on)
+}
+
+// MappedStats reports the live mmap-served entries (heap-fallback entries
+// are excluded from both counters).
+type MappedStats struct {
+	Files int64 // entries currently backed by a mapping
+	Bytes int64 // total mapped bytes
+}
+
+// Mapped returns a snapshot of the store's mapping footprint.
+func (s *BankStore) Mapped() MappedStats {
+	if s == nil {
+		return MappedStats{}
+	}
+	s.mapMu.Lock()
+	defer s.mapMu.Unlock()
+	var st MappedStats
+	for _, e := range s.mapped {
+		if e.zero {
+			st.Files++
+			st.Bytes += e.bytes
+		}
+	}
+	return st
+}
+
+// getMapped serves key from the mapped-entry table, opening (and mapping)
+// the on-disk entry on first use. The table pins each opened bank for the
+// store's lifetime: oracle readers hold views into the mapping, so the only
+// safe unmap point is Close, after all readers are gone.
+func (s *BankStore) getMapped(key string) (*Bank, error) {
+	s.mapMu.Lock()
+	defer s.mapMu.Unlock()
+	path := s.Path(key)
+	if e, ok := s.mapped[key]; ok {
+		s.hits.Add(1)
+		now := time.Now()
+		os.Chtimes(path, now, now)
+		return e.bank, nil
+	}
+	fi, err := os.Stat(path)
+	if err != nil || fi.Size() == 0 {
+		s.misses.Add(1)
+		return nil, nil
+	}
+	b, closer, err := OpenBankMapped(path)
+	if err != nil {
+		s.evictBroken(key, path, err)
+		return nil, nil
+	}
+	_, heapBacked := closer.(nopCloser)
+	s.mapped[key] = &mappedBank{bank: b, closer: closer, bytes: fi.Size(), zero: !heapBacked}
+	s.hits.Add(1)
+	now := time.Now()
+	os.Chtimes(path, now, now)
+	return b, nil
+}
+
+// Close releases every mapping the store holds (live and retired). Call it
+// only after all bank readers are done — their error-matrix views point
+// into the mappings.
+func (s *BankStore) Close() error {
+	if s == nil {
+		return nil
+	}
+	s.mapMu.Lock()
+	defer s.mapMu.Unlock()
+	var first error
+	for key, e := range s.mapped {
+		if err := e.closer.Close(); err != nil && first == nil {
+			first = err
+		}
+		delete(s.mapped, key)
+	}
+	for _, c := range s.retired {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	s.retired = nil
+	return first
+}
+
+// Put writes the bank under key atomically (temp-file + fsync + rename), so
+// readers only ever observe complete, durable entries. In mapped mode the
+// entry is written in bankfmt/v4 (SaveBankV4) and any previously mapped
+// bank for the key is retired: existing readers keep their (old) mapping,
+// new Gets map the new file.
 func (s *BankStore) Put(key string, b *Bank) error {
 	if s == nil {
 		return fmt.Errorf("core: Put on nil bank store")
 	}
-	if err := SaveBank(b, s.Path(key)); err != nil {
+	save := SaveBank
+	if s.mapMode.Load() {
+		save = SaveBankV4
+	}
+	if err := save(b, s.Path(key)); err != nil {
 		return err
 	}
+	s.mapMu.Lock()
+	if e, ok := s.mapped[key]; ok {
+		// The rename replaced the inode, not the mapping: the old mapping
+		// stays valid for in-flight readers and is released at Close.
+		s.retired = append(s.retired, e.closer)
+		delete(s.mapped, key)
+	}
+	s.mapMu.Unlock()
 	if max := s.maxBytes.Load(); max > 0 {
 		// Enforce the size bound write-through; the just-written entry has
 		// the freshest mtime, so it is pruned last (only when it alone
@@ -293,9 +442,22 @@ func (s *BankStore) Prune(maxBytes int64) (evicted int, freed int64, err error) 
 		}
 		return entries[i].path < entries[j].path
 	})
+	// Mapped entries are pinned: a reader may hold zero-copy views into the
+	// file's pages, so the pruner never unlinks them. The bound can
+	// therefore overshoot while many banks are mapped; it re-applies once
+	// the store is reopened without them.
+	pinned := map[string]bool{}
+	s.mapMu.Lock()
+	for key := range s.mapped {
+		pinned[s.Path(key)] = true
+	}
+	s.mapMu.Unlock()
 	for _, e := range entries {
 		if total <= maxBytes {
 			break
+		}
+		if pinned[e.path] {
+			continue
 		}
 		if rmErr := os.Remove(e.path); rmErr != nil {
 			if os.IsNotExist(rmErr) {
@@ -416,12 +578,75 @@ func (s *BankStore) Stats() StoreStats {
 		return StoreStats{}
 	}
 	return StoreStats{
-		Hits:        s.hits.Load(),
-		Misses:      s.misses.Load(),
-		Builds:      s.builds.Load(),
-		Evicted:     s.evicted.Load(),
-		StaleFormat: s.staleFormat.Load(),
+		Hits:           s.hits.Load(),
+		Misses:         s.misses.Load(),
+		Builds:         s.builds.Load(),
+		Evicted:        s.evicted.Load(),
+		StaleFormat:    s.staleFormat.Load(),
+		CorruptSegment: s.corruptSegment.Load(),
 	}
+}
+
+// WriteAlias records oldKey as an alias of newKey, so lookups that resolve
+// aliases (Resolve) find a grown bank under its pre-growth content address.
+// Alias files live next to entries as <key>.alias (outside the *.bank entry
+// glob) and are written atomically.
+func (s *BankStore) WriteAlias(oldKey, newKey string) error {
+	if s == nil {
+		return fmt.Errorf("core: WriteAlias on nil bank store")
+	}
+	if oldKey == newKey {
+		return nil
+	}
+	path := filepath.Join(s.dir, oldKey+".alias")
+	tmp, err := os.CreateTemp(s.dir, ".aliastmp-*")
+	if err != nil {
+		return fmt.Errorf("core: bank store alias: %w", err)
+	}
+	if _, err := tmp.WriteString(newKey + "\n"); err == nil {
+		err = tmp.Sync()
+	}
+	if err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("core: bank store alias: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("core: bank store alias: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("core: bank store alias: %w", err)
+	}
+	return nil
+}
+
+// Resolve follows alias links from key until it reaches a key with a
+// concrete entry (bounded hops guard against cycles). Content-addressed
+// build paths (GetOrBuild, BuildBankCached) deliberately do NOT resolve:
+// an alias points at a superset bank whose content differs from what the
+// old address promises. Resolution is for serving paths — peers and clients
+// holding a pre-growth key still find the bank.
+func (s *BankStore) Resolve(key string) string {
+	if s == nil {
+		return key
+	}
+	for hops := 0; hops < 8; hops++ {
+		if s.Has(key) {
+			return key
+		}
+		data, err := os.ReadFile(filepath.Join(s.dir, key+".alias"))
+		if err != nil {
+			return key
+		}
+		next := strings.TrimSpace(string(data))
+		if next == "" || next == key {
+			return key
+		}
+		key = next
+	}
+	return key
 }
 
 // BuildBankCached is BuildBank with a write-through cache: it returns the

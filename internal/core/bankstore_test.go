@@ -7,7 +7,9 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
+	"noisyeval/internal/core/bankseg"
 	"noisyeval/internal/data"
 	"noisyeval/internal/rng"
 )
@@ -261,5 +263,143 @@ func TestBuildBankCachedHitSkipsTraining(t *testing.T) {
 	_, hit3, err := BuildBankCached(nil, pop, opts, 11)
 	if err != nil || hit3 {
 		t.Fatalf("nil store: hit=%v err=%v", hit3, err)
+	}
+}
+
+func TestBankStoreMappedMode(t *testing.T) {
+	b := storeBank(t)
+	st, err := NewBankStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	st.SetMapped(true)
+
+	if err := st.Put("aaaa", b); err != nil {
+		t.Fatal(err)
+	}
+	// Mapped-mode Put writes bankfmt/v4.
+	raw, err := os.ReadFile(st.Path("aaaa"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bankseg.SniffV4(raw[:8]) {
+		t.Fatal("mapped-mode Put did not write a v4 entry")
+	}
+
+	got, err := st.Get("aaaa")
+	if err != nil || got == nil {
+		t.Fatalf("mapped get: %v, %v", got, err)
+	}
+	if hashBankContent(got) != hashBankContent(b) {
+		t.Fatal("mapped entry content differs")
+	}
+	// The entry is pinned: repeated Gets serve the same bank.
+	again, err := st.Get("aaaa")
+	if err != nil || again != got {
+		t.Fatal("mapped entry not pinned across Gets")
+	}
+
+	// A v3 entry degrades to a heap decode transparently.
+	if err := SaveBank(b, st.Path("bbbb")); err != nil {
+		t.Fatal(err)
+	}
+	v3got, err := st.Get("bbbb")
+	if err != nil || v3got == nil || hashBankContent(v3got) != hashBankContent(b) {
+		t.Fatalf("v3 entry under mapped mode: %v, %v", v3got, err)
+	}
+
+	// Prune never unlinks mapped entries, however tight the bound; the
+	// cold (never-opened) entry goes first.
+	if err := SaveBank(b, st.Path("cold")); err != nil {
+		t.Fatal(err)
+	}
+	old := time.Now().Add(-time.Hour)
+	os.Chtimes(st.Path("cold"), old, old)
+	if _, _, err := st.Prune(1); err != nil {
+		t.Fatal(err)
+	}
+	if st.Has("cold") {
+		t.Fatal("prune spared the unpinned cold entry")
+	}
+	if !st.Has("aaaa") || !st.Has("bbbb") {
+		t.Fatal("prune unlinked a mapped (pinned) entry")
+	}
+
+	// The mapped bank stays readable after pruning around it.
+	if hashBankContent(got) != hashBankContent(b) {
+		t.Fatal("mapped bank content changed after prune")
+	}
+}
+
+func TestBankStoreCorruptSegmentCounted(t *testing.T) {
+	b := storeBank(t)
+	st, err := NewBankStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := st.Path("cc")
+	if err := SaveBankV4(b, path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[bankseg.FileHeaderLen+bankseg.SegmentHeaderLen+8] ^= 1
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.Get("cc")
+	if err != nil || got != nil {
+		t.Fatalf("corrupt entry must read as a miss: %v, %v", got, err)
+	}
+	stats := st.Stats()
+	if stats.CorruptSegment != 1 {
+		t.Errorf("CorruptSegment = %d, want 1", stats.CorruptSegment)
+	}
+	if stats.Evicted != 1 {
+		t.Errorf("Evicted = %d, want 1", stats.Evicted)
+	}
+	if stats.StaleFormat != 0 {
+		t.Errorf("corruption misclassified as stale format")
+	}
+	if st.Has("cc") {
+		t.Error("corrupt entry not evicted")
+	}
+}
+
+func TestBankStoreAliasResolve(t *testing.T) {
+	b := storeBank(t)
+	st, err := NewBankStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put("newkey", b); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.WriteAlias("oldkey", "newkey"); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Resolve("oldkey"); got != "newkey" {
+		t.Fatalf("Resolve(old) = %q", got)
+	}
+	// A concrete entry resolves to itself even if an alias also exists.
+	if err := st.WriteAlias("newkey", "elsewhere"); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Resolve("newkey"); got != "newkey" {
+		t.Fatalf("Resolve(new) = %q", got)
+	}
+	// Chains follow: older -> oldkey -> newkey.
+	if err := st.WriteAlias("older", "oldkey"); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Resolve("older"); got != "newkey" {
+		t.Fatalf("Resolve(older) = %q", got)
+	}
+	// Unknown keys resolve to themselves.
+	if got := st.Resolve("nope"); got != "nope" {
+		t.Fatalf("Resolve(nope) = %q", got)
 	}
 }

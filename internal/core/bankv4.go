@@ -1,0 +1,428 @@
+package core
+
+// bankfmt/v4: the segmented bank container behind memory-mapped serving and
+// incremental growth. Where bankfmt/v3 (bankfmt.go) renders one monolithic
+// compressed frame that must be fully decoded onto the heap, v4 stores the
+// bank as CRC-framed, 64-byte-aligned segments (internal/core/bankseg):
+//
+//	file header (64 B, magic "NEBANK", version 4)
+//	arena segment    configs [lo,hi): raw little-endian float64s laid out
+//	                 [partition][config-lo][checkpoint][client] (BankShard
+//	                 order — for the full range this IS the canonical arena)
+//	commit segment   segment directory + bank metadata (bankfmt/v3's meta
+//	                 encoding, reused verbatim)
+//
+// The commit segment is written last and names, by sequence number, exactly
+// the arena segments that constitute the bank — so growth appends arenas
+// then one new commit, and a crash anywhere in between leaves the previous
+// commit as the authoritative state (OpenAppend truncates the debris).
+// Because arena payloads are raw aligned LE float64s, a v4 file opens via
+// mmap and serves oracle reads zero-copy; open cost is O(segment count),
+// not O(file size), since mapped opens verify only the header chain.
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"slices"
+
+	"noisyeval/internal/core/bankseg"
+)
+
+// v4 segment kinds.
+const (
+	segKindCommit = 1 // segment directory + bank metadata; the commit point
+	segKindArena  = 2 // error sub-arena for configs [lo, hi)
+)
+
+// CorruptError locates bank-content corruption: which section (v3) or
+// segment (v4) of the file failed, and at what byte offset. The BankStore
+// counts these under StoreStats.CorruptSegment; cmd/bank -info prints them.
+type CorruptError struct {
+	Path    string // file path when known
+	Section string // "header" | "metadata" | "bulk" (v3) | "segment" (v4)
+	Segment int    // v4 segment index; -1 for v3 sections
+	Offset  int64  // byte offset of the failing section/segment start
+	Err     error
+}
+
+func (e *CorruptError) Error() string {
+	loc := e.Section
+	if e.Section == "segment" {
+		loc = fmt.Sprintf("segment %d", e.Segment)
+	}
+	if e.Path != "" {
+		return fmt.Sprintf("core: corrupt bank %s: %s at offset %d: %v", e.Path, loc, e.Offset, e.Err)
+	}
+	return fmt.Sprintf("core: corrupt bank: %s at offset %d: %v", loc, e.Offset, e.Err)
+}
+
+func (e *CorruptError) Unwrap() error { return e.Err }
+
+// wrapSegmentErr lifts a bankseg structural failure into the coded
+// CorruptError callers branch on; other errors pass through.
+func wrapSegmentErr(path string, err error) error {
+	var se *bankseg.CorruptError
+	if errors.As(err, &se) {
+		return &CorruptError{Path: path, Section: "segment", Segment: se.Segment, Offset: se.Offset, Err: err}
+	}
+	return err
+}
+
+// v4Corrupt builds a coded corruption error for one v4 segment.
+func v4Corrupt(path string, segment int, offset int64, format string, args ...any) *CorruptError {
+	return &CorruptError{
+		Path: path, Section: "segment", Segment: segment, Offset: offset,
+		Err: fmt.Errorf(format, args...),
+	}
+}
+
+// arenaTag packs an arena segment's config range into its 16-byte tag.
+func arenaTag(lo, hi int) (t [16]byte) {
+	t[0], t[1], t[2], t[3] = byte(lo), byte(lo>>8), byte(lo>>16), byte(lo>>24)
+	t[4], t[5], t[6], t[7] = byte(hi), byte(hi>>8), byte(hi>>16), byte(hi>>24)
+	return t
+}
+
+func arenaTagRange(t [16]byte) (lo, hi int) {
+	lo = int(uint32(t[0]) | uint32(t[1])<<8 | uint32(t[2])<<16 | uint32(t[3])<<24)
+	hi = int(uint32(t[4]) | uint32(t[5])<<8 | uint32(t[6])<<16 | uint32(t[7])<<24)
+	return lo, hi
+}
+
+// v4DirEntry names one arena segment of a committed bank: its sequence
+// number and the config range it covers.
+type v4DirEntry struct {
+	seq    uint64
+	lo, hi int
+}
+
+// appendV4Commit renders a commit segment payload: the arena directory
+// followed by the bank's metadata in the v3 meta encoding.
+func appendV4Commit(buf []byte, dir []v4DirEntry, b *Bank) []byte {
+	buf = appendU32(buf, uint32(len(dir)))
+	for _, e := range dir {
+		buf = appendU64(buf, e.seq)
+		buf = appendU32(buf, uint32(e.lo))
+		buf = appendU32(buf, uint32(e.hi))
+	}
+	return appendBankMeta(buf, b)
+}
+
+func parseV4Commit(payload []byte) ([]v4DirEntry, *Bank, error) {
+	r := &metaReader{b: payload}
+	n := r.count(16, "segment directory")
+	dir := make([]v4DirEntry, n)
+	for i := range dir {
+		dir[i] = v4DirEntry{
+			seq: r.u64("directory seq"),
+			lo:  int(r.u32("directory lo")),
+			hi:  int(r.u32("directory hi")),
+		}
+	}
+	if r.err != nil {
+		return nil, nil, r.err
+	}
+	b, err := parseBankMeta(payload[r.off:])
+	if err != nil {
+		return nil, nil, err
+	}
+	return dir, b, nil
+}
+
+// SaveBankV4 writes the bank to path in bankfmt/v4: one full-range arena
+// segment plus one commit segment, built behind a temp file and published
+// with fsync + atomic rename (the same discipline as SaveBank). The write
+// is deterministic — equal bank content yields equal file bytes.
+func SaveBankV4(b *Bank, path string) error {
+	if err := b.Validate(); err != nil {
+		return fmt.Errorf("core: refusing to save invalid bank: %w", err)
+	}
+	w, err := bankseg.Create(path)
+	if err != nil {
+		return fmt.Errorf("core: save bank v4: %w", err)
+	}
+	n := len(b.Configs)
+	arenaSeq, err := w.Append(segKindArena, arenaTag(0, n), bankseg.AppendFloat64s(nil, b.Errs.Arena()))
+	if err == nil {
+		_, err = w.Append(segKindCommit, [16]byte{}, appendV4Commit(nil, []v4DirEntry{{seq: arenaSeq, lo: 0, hi: n}}, b))
+	}
+	if err != nil {
+		w.Abort()
+		return fmt.Errorf("core: save bank v4: %w", err)
+	}
+	if err := w.Commit(); err != nil {
+		return fmt.Errorf("core: save bank v4: %w", err)
+	}
+	return nil
+}
+
+// assembleBankV4 turns a parsed segment container into a Bank. The bank is
+// defined by the LAST intact commit segment — anything after it is crash
+// debris from an interrupted grow and is ignored. verifyPayloads selects the
+// heap-load contract (every payload checksummed; open cost O(file size));
+// mapped opens pass false so open cost stays O(segment count). zeroCopy
+// backs the matrix with payload views (the caller must then keep f open);
+// otherwise float data is copied onto the heap and canonicalized. The
+// returned refs reports whether the bank references f's image.
+func assembleBankV4(f *bankseg.File, verifyPayloads, zeroCopy bool) (b *Bank, refs bool, err error) {
+	path := f.Path()
+	segs := f.Segments()
+	limit := len(segs)
+	if verifyPayloads {
+		// A payload CRC failure bounds the intact prefix exactly like a
+		// structural failure: nothing at or after it can be trusted.
+		for i := range segs {
+			if segs[i].VerifyPayload() != nil {
+				limit = i
+				break
+			}
+		}
+	}
+	commitIdx := -1
+	for i := limit - 1; i >= 0; i-- {
+		if segs[i].Kind == segKindCommit {
+			commitIdx = i
+			break
+		}
+	}
+	if commitIdx < 0 {
+		if torn := f.Torn(); torn != nil && limit == len(segs) {
+			return nil, false, wrapSegmentErr(path, torn)
+		}
+		if limit < len(segs) {
+			return nil, false, v4Corrupt(path, limit, segs[limit].Offset, "payload CRC mismatch and no earlier commit segment")
+		}
+		return nil, false, v4Corrupt(path, 0, bankseg.FileHeaderLen, "no intact commit segment")
+	}
+	commit := &segs[commitIdx]
+	if !verifyPayloads {
+		// Even a mapped open must not trust an unchecksummed commit payload:
+		// it is one small segment, so verifying it keeps open cost O(header).
+		if commit.VerifyPayload() != nil {
+			return nil, false, v4Corrupt(path, commitIdx, commit.Offset, "commit segment payload CRC mismatch")
+		}
+	}
+	dir, bank, err := parseV4Commit(commit.Payload)
+	if err != nil {
+		return nil, false, v4Corrupt(path, commitIdx, commit.Offset, "commit segment: %w", err)
+	}
+	clients := 0
+	if len(bank.ExampleCounts) > 0 {
+		clients = len(bank.ExampleCounts[0])
+	}
+	parts, nConfigs, ckpts := len(bank.Partitions), len(bank.Configs), len(bank.Rounds)
+	if _, err := dimsProduct(parts, nConfigs, ckpts, clients); err != nil {
+		return nil, false, v4Corrupt(path, commitIdx, commit.Offset, "%w", err)
+	}
+
+	bySeq := make(map[uint64]*bankseg.Segment, commitIdx)
+	for i := 0; i < commitIdx; i++ {
+		bySeq[segs[i].Seq] = &segs[i]
+	}
+	msegs := make([]errSeg, 0, len(dir))
+	for _, e := range dir {
+		s := bySeq[e.seq]
+		if s == nil || s.Kind != segKindArena {
+			return nil, false, v4Corrupt(path, commitIdx, commit.Offset, "directory names missing arena segment seq %d", e.seq)
+		}
+		if lo, hi := arenaTagRange(s.Tag); lo != e.lo || hi != e.hi {
+			return nil, false, v4Corrupt(path, commitIdx, s.Offset, "arena segment seq %d tagged [%d,%d), directory says [%d,%d)", e.seq, lo, hi, e.lo, e.hi)
+		}
+		if e.lo < 0 || e.hi > nConfigs || e.lo >= e.hi {
+			return nil, false, v4Corrupt(path, commitIdx, s.Offset, "arena range [%d,%d) invalid for %d configs", e.lo, e.hi, nConfigs)
+		}
+		wantFloats := parts * (e.hi - e.lo) * ckpts * clients
+		if len(s.Payload) != wantFloats*8 {
+			return nil, false, v4Corrupt(path, commitIdx, s.Offset, "arena segment seq %d has %d payload bytes, want %d", e.seq, len(s.Payload), wantFloats*8)
+		}
+		var data []float64
+		if zeroCopy {
+			if v, ok := bankseg.Float64s(s.Payload); ok {
+				data, refs = v, true
+			}
+		}
+		if data == nil {
+			data = bankseg.CopyFloat64s(s.Payload)
+		}
+		msegs = append(msegs, errSeg{lo: e.lo, hi: e.hi, data: data})
+	}
+	slices.SortFunc(msegs, func(a, b errSeg) int { return a.lo - b.lo })
+
+	switch {
+	case len(msegs) == 1 && msegs[0].lo == 0 && msegs[0].hi == nConfigs:
+		// Full-range shard order equals canonical arena order: serve it as a
+		// plain heap-shaped matrix (Data set) whether mapped or copied.
+		bank.Errs = ErrMatrix{Parts: parts, Configs: nConfigs, Checkpoints: ckpts, Clients: clients, Data: msegs[0].data}
+	case !refs:
+		// Heap loads canonicalize multi-segment banks into one arena so
+		// every existing Data-facing code path sees the v3 shape.
+		m := newSegmentedMatrix(parts, nConfigs, ckpts, clients, msegs)
+		if err := m.Validate(); err != nil {
+			return nil, false, v4Corrupt(path, commitIdx, commit.Offset, "%w", err)
+		}
+		bank.Errs = ErrMatrix{Parts: parts, Configs: nConfigs, Checkpoints: ckpts, Clients: clients, Data: m.Arena()}
+	default:
+		bank.Errs = newSegmentedMatrix(parts, nConfigs, ckpts, clients, msegs)
+	}
+	if err := bank.Validate(); err != nil {
+		return nil, false, v4Corrupt(path, commitIdx, commit.Offset, "%w", err)
+	}
+	bank.buildIndex()
+	return bank, refs, nil
+}
+
+// nopCloser is the Closer OpenBankMapped returns when the bank holds no
+// reference to a mapping (v3 fallback, heap fallback, copied floats).
+type nopCloser struct{}
+
+func (nopCloser) Close() error { return nil }
+
+// OpenBankMapped opens a bank file for zero-copy serving: a bankfmt/v4 file
+// is mmap'd and its error matrix backed directly by the mapped arena
+// segments, so open cost is O(segment count) regardless of bank size. The
+// returned Closer owns the mapping — Close only after every reader of the
+// bank is done; oracle reads through a closed mapping fault. Non-v4 files
+// and platforms without mmap degrade to a heap load with a no-op Closer, so
+// call sites need no platform branches.
+func OpenBankMapped(path string) (*Bank, io.Closer, error) {
+	f, err := bankseg.Open(path)
+	if errors.Is(err, bankseg.ErrNotSegmented) {
+		b, err := LoadBank(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		return b, nopCloser{}, nil
+	}
+	if err != nil {
+		return nil, nil, wrapSegmentErr(path, err)
+	}
+	b, refs, err := assembleBankV4(f, !f.Mapped(), f.Mapped())
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if !refs {
+		f.Close()
+		return b, nopCloser{}, nil
+	}
+	return b, f, nil
+}
+
+// Extend returns a new bank covering the plan's full config pool, of which
+// this bank must be the prefix: the plan's pool begins with the bank's
+// configs, and shards cover exactly the new range [len(b.Configs),
+// plan.NumConfigs()). Because per-config training streams derive from
+// (seed, "config-i") alone, the result is byte-identical to a cold build
+// over the union pool with the same seed — pinned by TestGrownBankMatchesColdBuild.
+// The receiver is unchanged (in-flight readers keep a consistent view).
+func (b *Bank) Extend(p *BuildPlan, shards []*BankShard) (*Bank, error) {
+	n := len(b.Configs)
+	if p.NumConfigs() <= n {
+		return nil, fmt.Errorf("core: extend: plan has %d configs, bank already has %d", p.NumConfigs(), n)
+	}
+	if b.SpecName != p.pop.Spec.Name || b.Seed != p.seed {
+		return nil, fmt.Errorf("core: extend: plan (%s, seed %d) does not match bank (%s, seed %d)",
+			p.pop.Spec.Name, p.seed, b.SpecName, b.Seed)
+	}
+	for i := 0; i < n; i++ {
+		if p.configs[i] != b.Configs[i] {
+			return nil, fmt.Errorf("core: extend: plan pool diverges from bank pool at config %d", i)
+		}
+	}
+	if !slices.Equal(p.rounds, b.Rounds) || !slices.Equal(p.parts, b.Partitions) {
+		return nil, fmt.Errorf("core: extend: plan checkpoint/partition grid does not match bank")
+	}
+	for pi, row := range p.counts {
+		if pi >= len(b.ExampleCounts) || !slices.Equal(row, b.ExampleCounts[pi]) {
+			return nil, fmt.Errorf("core: extend: plan evaluation pools do not match bank (partition %d)", pi)
+		}
+	}
+	prefix := &BankShard{
+		Lo: 0, Hi: n,
+		Errs: ErrMatrix{
+			Parts: b.Errs.Parts, Configs: n, Checkpoints: b.Errs.Checkpoints, Clients: b.Errs.Clients,
+			Data: b.Errs.Arena(),
+		},
+		Diverged: b.Diverged,
+	}
+	return AssembleBank(p, append([]*BankShard{prefix}, shards...))
+}
+
+// extendAbortStage, when non-empty, makes ExtendBankV4 abandon the file
+// right after the named append stage without syncing — simulating a crash
+// mid-grow. Stages: "arena" (after arena segments, before the commit),
+// "commit" (after the commit segment, before fsync). Always empty outside
+// tests.
+var extendAbortStage string
+
+// ExtendBankV4 grows a v4 bank file in place: it loads the current bank,
+// assembles the grown bank in memory (Extend), then appends one arena
+// segment per shard followed by a new commit segment naming the union, with
+// an fsync between data and commit so the commit is never durable ahead of
+// its arenas. Opening for append first truncates any crash debris past the
+// last intact commit, so a retried grow after a crash converges to the same
+// file bytes. Returns the grown bank.
+func ExtendBankV4(path string, p *BuildPlan, shards []*BankShard) (*Bank, error) {
+	pf, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: extend bank: %w", err)
+	}
+	var prefix [8]byte
+	pn, _ := io.ReadFull(pf, prefix[:])
+	pf.Close()
+	if !bankseg.SniffV4(prefix[:pn]) {
+		return nil, fmt.Errorf("core: extend bank %s: %w (rewrite it with SaveBankV4 first)", path, bankseg.ErrNotSegmented)
+	}
+	old, err := LoadBank(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: extend bank: %w", err)
+	}
+	grown, err := old.Extend(p, shards)
+	if err != nil {
+		return nil, err
+	}
+	w, kept, err := bankseg.OpenAppend(path, func(s *bankseg.Segment) bool { return s.Kind == segKindCommit })
+	if err != nil {
+		return nil, wrapSegmentErr(path, err)
+	}
+	// The surviving commit's directory seeds the union directory.
+	dir, _, err := parseV4Commit(kept[len(kept)-1].Payload)
+	if err != nil {
+		w.Abort()
+		return nil, v4Corrupt(path, len(kept)-1, kept[len(kept)-1].Offset, "commit segment: %w", err)
+	}
+	sorted := append([]*BankShard(nil), shards...)
+	slices.SortFunc(sorted, func(a, b *BankShard) int { return a.Lo - b.Lo })
+	for _, sh := range sorted {
+		seq, err := w.Append(segKindArena, arenaTag(sh.Lo, sh.Hi), bankseg.AppendFloat64s(nil, sh.Errs.Data))
+		if err != nil {
+			w.Abort()
+			return nil, fmt.Errorf("core: extend bank: %w", err)
+		}
+		dir = append(dir, v4DirEntry{seq: seq, lo: sh.Lo, hi: sh.Hi})
+	}
+	if extendAbortStage == "arena" {
+		w.Abort()
+		return nil, fmt.Errorf("core: extend bank: aborted after arena append (test hook)")
+	}
+	// Sync the arenas before the commit lands: a commit segment must never
+	// become durable while the data it names could still vanish.
+	if err := w.Sync(); err != nil {
+		w.Abort()
+		return nil, fmt.Errorf("core: extend bank: %w", err)
+	}
+	if _, err := w.Append(segKindCommit, [16]byte{}, appendV4Commit(nil, dir, grown)); err != nil {
+		w.Abort()
+		return nil, fmt.Errorf("core: extend bank: %w", err)
+	}
+	if extendAbortStage == "commit" {
+		w.Abort()
+		return nil, fmt.Errorf("core: extend bank: aborted before commit sync (test hook)")
+	}
+	if err := w.Commit(); err != nil {
+		return nil, fmt.Errorf("core: extend bank: %w", err)
+	}
+	return grown, nil
+}

@@ -1,0 +1,401 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"noisyeval/internal/core/bankseg"
+	"noisyeval/internal/data"
+	"noisyeval/internal/eval"
+	"noisyeval/internal/fl"
+	"noisyeval/internal/rng"
+)
+
+func TestSaveBankV4RoundTrip(t *testing.T) {
+	b, _ := tinyBank(t)
+	path := filepath.Join(t.TempDir(), "v4.bank")
+	if err := SaveBankV4(b, path); err != nil {
+		t.Fatal(err)
+	}
+
+	// Heap load (LoadBank auto-detects v4 and verifies every payload CRC).
+	heap, err := LoadBank(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hashBankContent(heap) != hashBankContent(b) {
+		t.Fatal("heap-loaded v4 bank differs from the original")
+	}
+
+	// Mapped open serves the same content zero-copy.
+	mapped, closer, err := OpenBankMapped(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closer.Close()
+	if hashBankContent(mapped) != hashBankContent(b) {
+		t.Fatal("mapped v4 bank differs from the original")
+	}
+	if BankFingerprint(mapped) != BankFingerprint(heap) {
+		t.Fatal("mapped bank fingerprints differently from its heap twin")
+	}
+
+	// Determinism: saving the same bank again yields identical bytes.
+	path2 := filepath.Join(t.TempDir(), "v4b.bank")
+	if err := SaveBankV4(b, path2); err != nil {
+		t.Fatal(err)
+	}
+	b1, _ := os.ReadFile(path)
+	b2, _ := os.ReadFile(path2)
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("SaveBankV4 is not byte-deterministic")
+	}
+}
+
+func TestOpenBankMappedFallsBackForV3(t *testing.T) {
+	b, _ := tinyBank(t)
+	path := filepath.Join(t.TempDir(), "v3.bank")
+	if err := SaveBank(b, path); err != nil {
+		t.Fatal(err)
+	}
+	got, closer, err := OpenBankMapped(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closer.Close()
+	if hashBankContent(got) != hashBankContent(b) {
+		t.Fatal("v3 fallback path corrupted the bank")
+	}
+}
+
+// TestMappedOracleBitIdentical is the golden mapped-serving test: every
+// BankOracle read against the v4-mapped bank must be bit-identical to the
+// same read against the heap-decoded v3 bank.
+func TestMappedOracleBitIdentical(t *testing.T) {
+	b, _ := tinyBank(t)
+	dir := t.TempDir()
+	p3, p4 := filepath.Join(dir, "v3.bank"), filepath.Join(dir, "v4.bank")
+	if err := SaveBank(b, p3); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveBankV4(b, p4); err != nil {
+		t.Fatal(err)
+	}
+	heap, err := LoadBank(p3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapped, closer, err := OpenBankMapped(p4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closer.Close()
+
+	scheme := eval.Scheme{Count: 5, Weighted: true}
+	oh, err := NewBankOracle(heap, 0.5, scheme, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	om, err := NewBankOracle(mapped, 0.5, scheme, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 3; trial++ {
+		th, tm := oh.WithTrial(trial), om.WithTrial(trial)
+		for ci := range heap.Configs {
+			for _, r := range heap.Rounds {
+				id := "t"
+				eh, err1 := th.EvaluateIndex(ci, r, id)
+				em, err2 := tm.EvaluateIndex(ci, r, id)
+				if err1 != nil || err2 != nil {
+					t.Fatalf("evaluate (%d,%d): %v / %v", ci, r, err1, err2)
+				}
+				if eh.Observed != em.Observed || eh.True != em.True {
+					t.Fatalf("trial %d config %d rounds %d: heap (%v,%v) != mapped (%v,%v)",
+						trial, ci, r, eh.Observed, eh.True, em.Observed, em.True)
+				}
+			}
+		}
+	}
+}
+
+// growFixture builds a 4-config bank plus the plan and shard that extend it
+// to 6 configs, and the cold-built 6-config reference bank.
+func growFixture(t *testing.T) (base, cold *Bank, plan *BuildPlan, shard *BankShard) {
+	t.Helper()
+	pop := data.MustGenerate(tinySpec(), rng.New(1))
+	opts := tinyBuildOptions()
+	opts.NumConfigs, opts.MaxRounds = 4, 9
+	base, err := BuildBank(pop, opts, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	extra := opts.Space.SampleN(2, rng.New(7).Splitf("grow-%s-%d", base.SpecName, len(base.Configs)))
+	union := append(append([]fl.HParams{}, base.Configs...), extra...)
+	optsU := opts
+	optsU.Configs = union
+	cold, err = BuildBank(pop, optsU, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err = NewBuildPlan(pop, optsU, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shard, err = plan.TrainRange(len(base.Configs), len(union), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return base, cold, plan, shard
+}
+
+// TestGrownBankMatchesColdBuild is the golden growth test: extending a bank
+// with freshly trained configs must reproduce, content-hash-identical, a
+// cold build over the union pool with the same seed.
+func TestGrownBankMatchesColdBuild(t *testing.T) {
+	base, cold, plan, shard := growFixture(t)
+	grown, err := base.Extend(plan, []*BankShard{shard})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hashBankContent(grown) != hashBankContent(cold) {
+		t.Fatal("grown bank content differs from cold build over the union pool")
+	}
+	if len(base.Configs) != 4 {
+		t.Fatal("Extend mutated its receiver")
+	}
+	// And the on-disk grow path reproduces it too, through both load paths.
+	path := filepath.Join(t.TempDir(), "grow.bank")
+	if err := SaveBankV4(base, path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ExtendBankV4(path, plan, []*BankShard{shard}); err != nil {
+		t.Fatal(err)
+	}
+	reloaded, err := LoadBank(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hashBankContent(reloaded) != hashBankContent(cold) {
+		t.Fatal("reloaded grown file differs from cold build")
+	}
+	mapped, closer, err := OpenBankMapped(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closer.Close()
+	if hashBankContent(mapped) != hashBankContent(cold) {
+		t.Fatal("mapped grown file differs from cold build")
+	}
+}
+
+func TestExtendValidatesPlan(t *testing.T) {
+	base, _, plan, shard := growFixture(t)
+	// Wrong seed → mismatch.
+	bad := *base
+	bad.Seed = 99
+	if _, err := bad.Extend(plan, []*BankShard{shard}); err == nil {
+		t.Fatal("Extend accepted a plan with a different seed")
+	}
+	// Plan no larger than the bank → nothing to extend.
+	small := *base
+	small.Configs = append([]fl.HParams{}, base.Configs...)
+	if _, err := small.Extend(plan, nil); err == nil {
+		t.Fatal("Extend accepted missing shards")
+	}
+}
+
+// TestExtendBankV4CrashMidGrow pins the crash-consistency contract: a grow
+// interrupted before its commit segment rolls back to the pre-grow bank on
+// the next open, and retrying the grow converges to byte-identical file
+// content.
+func TestExtendBankV4CrashMidGrow(t *testing.T) {
+	base, cold, plan, shard := growFixture(t)
+	dir := t.TempDir()
+
+	write := func(name string) string {
+		p := filepath.Join(dir, name)
+		if err := SaveBankV4(base, p); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	// Control: an uninterrupted grow, the bytes every retry must converge to.
+	control := write("control.bank")
+	if _, err := ExtendBankV4(control, plan, []*BankShard{shard}); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(control)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preGrow, err := os.ReadFile(write("pre.bank"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash after the arena segments, before the commit: the debris is
+	// invisible to readers and a retry converges.
+	p := write("arena-crash.bank")
+	extendAbortStage = "arena"
+	if _, err := ExtendBankV4(p, plan, []*BankShard{shard}); err == nil {
+		t.Fatal("aborted grow reported success")
+	}
+	extendAbortStage = ""
+	got, err := LoadBank(p)
+	if err != nil {
+		t.Fatalf("reopen after arena crash: %v", err)
+	}
+	if hashBankContent(got) != hashBankContent(base) {
+		t.Fatal("arena crash leaked partial growth to readers")
+	}
+	if _, err := ExtendBankV4(p, plan, []*BankShard{shard}); err != nil {
+		t.Fatalf("retried grow: %v", err)
+	}
+	if after, _ := os.ReadFile(p); !bytes.Equal(after, want) {
+		t.Fatal("retried grow did not converge to the control bytes")
+	}
+
+	// Crash with the commit fully written but not yet fsynced: the file
+	// content already equals the committed grow, so readers see the grown
+	// bank (fsync only narrows the window where the OS could lose it).
+	p = write("commit-crash.bank")
+	extendAbortStage = "commit"
+	if _, err := ExtendBankV4(p, plan, []*BankShard{shard}); err == nil {
+		t.Fatal("aborted grow reported success")
+	}
+	extendAbortStage = ""
+	if got, err := LoadBank(p); err != nil || hashBankContent(got) != hashBankContent(cold) {
+		t.Fatalf("commit-written crash: err=%v", err)
+	}
+
+	// Torn writes at arbitrary points inside the appended region (the OS
+	// persisted a prefix): the bank rolls back to pre-grow, and a retried
+	// grow converges to the control bytes. The last cut lands inside the
+	// union commit's payload — a cut in the trailing alignment padding
+	// would leave the commit intact, which is not a torn write.
+	sf, err := bankseg.Parse(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lastSeg := sf.Segments()[len(sf.Segments())-1]
+	for _, cut := range []int64{
+		int64(len(preGrow)) + 1,
+		int64(len(preGrow)) + bankseg.SegmentHeaderLen + 16,
+		lastSeg.Offset + bankseg.SegmentHeaderLen + int64(len(lastSeg.Payload)) - 1,
+	} {
+		p := filepath.Join(dir, "torn.bank")
+		if err := os.WriteFile(p, want[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got, err := LoadBank(p)
+		if err != nil {
+			t.Fatalf("cut %d: reopen: %v", cut, err)
+		}
+		if hashBankContent(got) != hashBankContent(base) {
+			t.Fatalf("cut %d: torn grow leaked partial state", cut)
+		}
+		if _, err := ExtendBankV4(p, plan, []*BankShard{shard}); err != nil {
+			t.Fatalf("cut %d: retried grow: %v", cut, err)
+		}
+		if after, _ := os.ReadFile(p); !bytes.Equal(after, want) {
+			t.Fatalf("cut %d: retry did not converge", cut)
+		}
+	}
+}
+
+// TestLoadBankCorruptionIsLocated pins the error taxonomy: a damaged v4
+// file fails with a coded CorruptError naming the segment and offset, never
+// with a stale-format classification.
+func TestLoadBankCorruptionIsLocated(t *testing.T) {
+	b, _ := tinyBank(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "v4.bank")
+	if err := SaveBankV4(b, path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(name string, img []byte) {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, img, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err := LoadBank(p)
+		if err == nil {
+			t.Fatalf("%s: load succeeded on a damaged file", name)
+		}
+		var ce *CorruptError
+		if !errors.As(err, &ce) {
+			t.Fatalf("%s: err = %v, want *CorruptError", name, err)
+		}
+		if ce.Section != "segment" {
+			t.Fatalf("%s: section = %q", name, ce.Section)
+		}
+		if IsStaleBankFormat(err) {
+			t.Fatalf("%s: corruption misclassified as stale format", name)
+		}
+	}
+
+	// Truncated mid-arena: no commit survives.
+	check("trunc.bank", raw[:bankseg.FileHeaderLen+bankseg.SegmentHeaderLen+64])
+	// Arena payload bit flip: header chain is fine, payload CRC is not.
+	flip := append([]byte(nil), raw...)
+	flip[bankseg.FileHeaderLen+bankseg.SegmentHeaderLen+8] ^= 1
+	check("flip.bank", flip)
+	// Truncated commit segment (cut inside its payload, not the padding).
+	sf, err := bankseg.Parse(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	commit := sf.Segments()[len(sf.Segments())-1]
+	check("shortcommit.bank", raw[:commit.Offset+bankseg.SegmentHeaderLen+int64(len(commit.Payload))-1])
+}
+
+// FuzzBankV4 asserts the v4 decode path never panics and only ever returns
+// validated banks, whatever bytes arrive. Seeds cover the corpus the crash
+// and corruption tests exercise: a valid file, a torn segment, a payload
+// CRC flip, and a duplicated (replayed) segment.
+func FuzzBankV4(f *testing.F) {
+	opts := tinyBuildOptions()
+	opts.NumConfigs, opts.MaxRounds = 2, 3
+	pop := data.MustGenerate(tinySpec(), rng.New(1))
+	b, err := BuildBank(pop, opts, 3)
+	if err != nil {
+		f.Fatal(err)
+	}
+	path := filepath.Join(f.TempDir(), "seed.bank")
+	if err := SaveBankV4(b, path); err != nil {
+		f.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(raw)
+	f.Add(raw[:len(raw)/2])                                                    // torn segment
+	f.Add(raw[:bankseg.FileHeaderLen])                                         // header only
+	flip := append([]byte(nil), raw...)                                        //
+	flip[bankseg.FileHeaderLen+bankseg.SegmentHeaderLen+4] ^= 0x10             //
+	f.Add(flip)                                                                // payload CRC flip
+	f.Add(append(append([]byte(nil), raw...), raw[bankseg.FileHeaderLen:]...)) // duplicate segments
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, err := DecodeBank(bytes.NewReader(data))
+		if err == nil {
+			if b == nil {
+				t.Fatal("nil bank without error")
+			}
+			if verr := b.Validate(); verr != nil {
+				t.Fatalf("decoded bank fails validation: %v", verr)
+			}
+		}
+	})
+}

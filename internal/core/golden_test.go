@@ -53,7 +53,9 @@ func hashBankContent(b *Bank) string {
 	// The arena is row-major [partition][config][checkpoint][client] — the
 	// exact order the pre-arena nested loops hashed — so the golden
 	// constants recorded against [][][][]float64 banks still apply.
-	hashFloats(h, b.Errs.Data)
+	// Arena() (not Data) so segment-backed mapped banks hash identically
+	// to their heap twins.
+	hashFloats(h, b.Errs.Arena())
 	for _, d := range b.Diverged {
 		if d {
 			h.Write([]byte{1})

@@ -2,10 +2,13 @@ package core
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+
+	"noisyeval/internal/core/bankseg"
 )
 
 // saveWriterHook, when non-nil, wraps the temp-file writer inside SaveBank.
@@ -69,19 +72,56 @@ func SaveBank(b *Bank, path string) error {
 	return nil
 }
 
-// LoadBank reads a bank written by SaveBank and validates it.
+// LoadBank reads a bank written by SaveBank (bankfmt/v3) or SaveBankV4
+// (segmented bankfmt/v4) and validates it; the version is sniffed from the
+// header. v4 loads verify every segment CRC and materialize a canonical
+// heap arena — the fully-checked counterpart of OpenBankMapped. Corruption
+// surfaces as a *CorruptError naming the failing section or segment and its
+// offset.
 func LoadBank(path string) (*Bank, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("core: load bank: %w", err)
 	}
 	defer f.Close()
-	return decodeBank(bufio.NewReaderSize(f, 1<<20))
+	b, err := decodeBankAuto(bufio.NewReaderSize(f, 1<<20))
+	if err != nil {
+		var ce *CorruptError
+		if errors.As(err, &ce) && ce.Path == "" {
+			ce.Path = path
+		}
+		return nil, err
+	}
+	return b, nil
 }
 
-// DecodeBank reads one EncodeBank/SaveBank encoding from r and validates it
-// (the internal/dist peer tier decodes banks straight off the wire with it).
-func DecodeBank(r io.Reader) (*Bank, error) { return decodeBank(r) }
+// DecodeBank reads one bank encoding (bankfmt/v3 or v4) from r and
+// validates it (the internal/dist peer tier decodes banks straight off the
+// wire with it, so peers can ship either generation).
+func DecodeBank(r io.Reader) (*Bank, error) { return decodeBankAuto(r) }
+
+// decodeBankAuto sniffs the format generation and dispatches: a v4 header
+// routes to the segment layer (full payload verification, canonical heap
+// arena), anything else to the v3 frame decoder.
+func decodeBankAuto(r io.Reader) (*Bank, error) {
+	br, ok := r.(*bufio.Reader)
+	if !ok {
+		br = bufio.NewReaderSize(r, 64<<10)
+	}
+	if prefix, err := br.Peek(8); err == nil && bankseg.SniffV4(prefix) {
+		data, err := io.ReadAll(br)
+		if err != nil {
+			return nil, fmt.Errorf("core: load bank v4: %w", err)
+		}
+		sf, err := bankseg.Parse(data)
+		if err != nil {
+			return nil, wrapSegmentErr("", err)
+		}
+		b, _, err := assembleBankV4(sf, true, false)
+		return b, err
+	}
+	return decodeBank(br)
+}
 
 // decodeBank reads one bank encoding from r and validates it. A non-nil
 // error means the content itself is bad (truncation, bit rot, checksum

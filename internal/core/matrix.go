@@ -1,6 +1,10 @@
 package core
 
-import "fmt"
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
 
 // ErrMatrix is the dense error tensor at the heart of the bank: one
 // contiguous []float64 arena indexed as
@@ -13,13 +17,35 @@ import "fmt"
 // shard reassembly is one bulk copy per (partition, shard) block, and oracle
 // reads hand out zero-allocation row views over memory the prefetcher likes.
 //
+// Backing store: a matrix is either heap-backed (Data holds the canonical
+// arena, segs nil — every matrix built or decoded before bankfmt/v4) or
+// segment-backed (segs cover contiguous config ranges, each a view into an
+// mmap'd v4 arena segment laid out [partition][config-lo][checkpoint][client]).
+// Row/At/ConfigBlock dispatch on the backing, so oracle reads are
+// bit-identical either way; Arena materializes the canonical order when a
+// single flat slice is needed (encoding, fingerprinting).
+//
 // The exported fields exist for encoding; treat a populated matrix as
 // immutable and go through Row/At for access.
 type ErrMatrix struct {
 	// Parts, Configs, Checkpoints, Clients are the tensor dimensions.
 	Parts, Configs, Checkpoints, Clients int
-	// Data is the arena, len = Parts*Configs*Checkpoints*Clients.
+	// Data is the arena, len = Parts*Configs*Checkpoints*Clients. Nil when
+	// the matrix is segment-backed.
 	Data []float64
+	// segs, when non-nil, back the matrix with per-config-range blocks
+	// (sorted, contiguous from config 0). Set only by the v4 mapped-open
+	// path.
+	segs []errSeg
+}
+
+// errSeg is one config-range backing block of a segment-backed matrix:
+// configs [lo, hi) of every partition, laid out [part][config-lo][ckpt][client]
+// — the BankShard layout, which for the full range [0, Configs) equals the
+// canonical arena order.
+type errSeg struct {
+	lo, hi int
+	data   []float64
 }
 
 // NewErrMatrix allocates a zeroed dense matrix with the given dimensions.
@@ -30,12 +56,44 @@ func NewErrMatrix(parts, configs, checkpoints, clients int) ErrMatrix {
 	}
 }
 
+// newSegmentedMatrix wires a matrix over per-range backing blocks without
+// copying them (the v4 mapped-open path). Ranges must be sorted and cover
+// [0, configs) contiguously; Validate enforces it.
+func newSegmentedMatrix(parts, configs, checkpoints, clients int, segs []errSeg) ErrMatrix {
+	return ErrMatrix{
+		Parts: parts, Configs: configs, Checkpoints: checkpoints, Clients: clients,
+		segs: segs,
+	}
+}
+
+// Segmented reports whether the matrix is backed by per-range segments
+// rather than one canonical heap arena.
+func (m *ErrMatrix) Segmented() bool { return m.segs != nil }
+
 // Row returns the per-client error vector of (partition pi, config ci,
 // checkpoint ri) as a view into the arena. The slice is owned by the matrix;
 // callers must not modify it.
 func (m *ErrMatrix) Row(pi, ci, ri int) []float64 {
+	if m.segs != nil {
+		return m.segRow(pi, ci, ri)
+	}
 	off := ((pi*m.Configs+ci)*m.Checkpoints + ri) * m.Clients
 	return m.Data[off : off+m.Clients : off+m.Clients]
+}
+
+// segRow resolves a row in a segment-backed matrix: a linear scan over the
+// (few — one per growth step) segments, then the shard-layout offset within
+// the owning block. Zero allocations; segments are sorted so the first with
+// ci < hi owns the config.
+func (m *ErrMatrix) segRow(pi, ci, ri int) []float64 {
+	for si := range m.segs {
+		s := &m.segs[si]
+		if ci < s.hi {
+			off := ((pi*(s.hi-s.lo)+(ci-s.lo))*m.Checkpoints + ri) * m.Clients
+			return s.data[off : off+m.Clients : off+m.Clients]
+		}
+	}
+	panic(fmt.Sprintf("core: config %d outside segmented matrix of %d configs", ci, m.Configs))
 }
 
 // At returns one element; the bounds checks are the slice expression's.
@@ -43,26 +101,120 @@ func (m *ErrMatrix) At(pi, ci, ri, k int) float64 { return m.Row(pi, ci, ri)[k] 
 
 // ConfigBlock returns the contiguous sub-arena covering configs [lo, hi) of
 // partition pi — every checkpoint and client of those configs. Shard
-// reassembly copies blocks, never rows.
+// reassembly copies blocks, never rows. On a segment-backed matrix the
+// requested range must lie within one backing segment (growth ranges are
+// segment-granular, so every caller's range does).
 func (m *ErrMatrix) ConfigBlock(pi, lo, hi int) []float64 {
+	if m.segs != nil {
+		for si := range m.segs {
+			s := &m.segs[si]
+			if lo >= s.lo && hi <= s.hi {
+				stride := m.Checkpoints * m.Clients
+				n := s.hi - s.lo
+				off := (pi*n + (lo - s.lo)) * stride
+				end := (pi*n + (hi - s.lo)) * stride
+				return s.data[off:end:end]
+			}
+		}
+		panic(fmt.Sprintf("core: config block [%d,%d) spans segment boundaries", lo, hi))
+	}
 	stride := m.Checkpoints * m.Clients
 	off := (pi*m.Configs + lo) * stride
 	end := (pi*m.Configs + hi) * stride
 	return m.Data[off:end:end]
 }
 
-// Validate checks dimensional integrity: non-negative dims and an arena of
-// exactly the implied length.
+// Arena returns the matrix content as one canonical [part][config][ckpt][client]
+// arena. Heap-backed matrices return Data directly (no copy); segment-backed
+// ones materialize a fresh canonical copy — encoding and fingerprinting go
+// through this, so a mapped bank encodes byte-identically to its heap twin.
+func (m *ErrMatrix) Arena() []float64 {
+	if m.segs == nil {
+		return m.Data
+	}
+	out := ErrMatrix{
+		Parts: m.Parts, Configs: m.Configs, Checkpoints: m.Checkpoints, Clients: m.Clients,
+		Data: make([]float64, m.Parts*m.Configs*m.Checkpoints*m.Clients),
+	}
+	for si := range m.segs {
+		s := &m.segs[si]
+		for pi := 0; pi < m.Parts; pi++ {
+			copy(out.ConfigBlock(pi, s.lo, s.hi), m.ConfigBlock(pi, s.lo, s.hi))
+		}
+	}
+	return out.Data
+}
+
+// Validate checks dimensional integrity: non-negative dims and backing of
+// exactly the implied length — one canonical arena, or segments that cover
+// [0, Configs) contiguously with correctly sized blocks.
 func (m *ErrMatrix) Validate() error {
 	if m.Parts < 0 || m.Configs < 0 || m.Checkpoints < 0 || m.Clients < 0 {
 		return fmt.Errorf("core: err matrix has negative dimension %dx%dx%dx%d",
 			m.Parts, m.Configs, m.Checkpoints, m.Clients)
+	}
+	if m.segs != nil {
+		next := 0
+		for i, s := range m.segs {
+			if s.lo != next || s.hi <= s.lo {
+				return fmt.Errorf("core: err matrix segment %d covers [%d,%d), want to start at %d", i, s.lo, s.hi, next)
+			}
+			if want := m.Parts * (s.hi - s.lo) * m.Checkpoints * m.Clients; len(s.data) != want {
+				return fmt.Errorf("core: err matrix segment %d has %d floats, want %d", i, len(s.data), want)
+			}
+			next = s.hi
+		}
+		if next != m.Configs {
+			return fmt.Errorf("core: err matrix segments cover %d configs, want %d", next, m.Configs)
+		}
+		return nil
 	}
 	if want := m.Parts * m.Configs * m.Checkpoints * m.Clients; len(m.Data) != want {
 		return fmt.Errorf("core: err matrix arena has %d floats, want %d (%dx%dx%dx%d)",
 			len(m.Data), want, m.Parts, m.Configs, m.Checkpoints, m.Clients)
 	}
 	return nil
+}
+
+// GobEncode canonicalizes the backing store for gob (BankFingerprint hashes
+// banks through gob): a segment-backed matrix encodes exactly like its
+// heap-backed twin — dimensions then the canonical arena, little-endian.
+func (m ErrMatrix) GobEncode() ([]byte, error) {
+	arena := m.Arena()
+	out := make([]byte, 0, 32+8*len(arena))
+	var buf [8]byte
+	for _, d := range [...]int{m.Parts, m.Configs, m.Checkpoints, m.Clients} {
+		binary.LittleEndian.PutUint64(buf[:], uint64(d))
+		out = append(out, buf[:]...)
+	}
+	for _, v := range arena {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		out = append(out, buf[:]...)
+	}
+	return out, nil
+}
+
+// GobDecode is the inverse of GobEncode; decoded matrices are always
+// heap-backed.
+func (m *ErrMatrix) GobDecode(data []byte) error {
+	if len(data) < 32 || (len(data)-32)%8 != 0 {
+		return fmt.Errorf("core: gob err matrix has %d bytes", len(data))
+	}
+	dims := make([]int, 4)
+	for i := range dims {
+		v := binary.LittleEndian.Uint64(data[i*8:])
+		if v > math.MaxInt32 {
+			return fmt.Errorf("core: gob err matrix dimension %d overflows", v)
+		}
+		dims[i] = int(v)
+	}
+	m.Parts, m.Configs, m.Checkpoints, m.Clients = dims[0], dims[1], dims[2], dims[3]
+	m.segs = nil
+	m.Data = make([]float64, (len(data)-32)/8)
+	for i := range m.Data {
+		m.Data[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[32+i*8:]))
+	}
+	return m.Validate()
 }
 
 // CheckShape verifies the matrix has exactly the given dimensions (and a

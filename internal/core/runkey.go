@@ -13,7 +13,10 @@ import (
 // any hashed field changes, invalidating previously deduplicated runs.
 // v2: the bank's in-memory shape moved to the dense ErrMatrix arena, which
 // changes BankFingerprint's gob image for identical recorded content.
-const runKeyVersion = "runkey-v2"
+// v3: ErrMatrix gained a backing-store abstraction and now gob-encodes
+// through its canonical arena (GobEncode), so a mapped bank fingerprints
+// identically to its heap twin — at the cost of a new gob image.
+const runKeyVersion = "runkey-v3"
 
 // RunKey returns the content address of one tuning run: a hex SHA-256 over
 // the bank's content address plus everything else that determines the run's

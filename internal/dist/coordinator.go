@@ -693,10 +693,13 @@ func safeKey(key string) bool {
 	return true
 }
 
-// handleBank serves a cached bank's raw bytes — the bankfmt/v3 artifact
-// exactly as the store persisted it, streamed without decoding or
+// handleBank serves a cached bank's raw bytes — the artifact exactly as the
+// store persisted it (bankfmt/v3 or v4), streamed without decoding or
 // re-encoding — so warm peers can seed cold ones (the read-through tier of
-// dist.Builder).
+// dist.Builder). A key whose bank has been grown resolves through its store
+// alias; the X-Bank-Key header names the entry actually served, so callers
+// that need the exact requested content (the builder does — its cache key
+// promises a specific config pool) can tell a moved bank from a hit.
 func (c *Coordinator) handleBank(w http.ResponseWriter, r *http.Request) {
 	key := r.PathValue("key")
 	if !safeKey(key) {
@@ -708,7 +711,12 @@ func (c *Coordinator) handleBank(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "no bank store")
 		return
 	}
-	f, err := os.Open(store.Path(key))
+	resolved := store.Resolve(key)
+	if !safeKey(resolved) {
+		writeError(w, http.StatusNotFound, "no bank %s", key)
+		return
+	}
+	f, err := os.Open(store.Path(resolved))
 	if err != nil {
 		writeError(w, http.StatusNotFound, "no bank %s", key)
 		return
@@ -716,5 +724,6 @@ func (c *Coordinator) handleBank(w http.ResponseWriter, r *http.Request) {
 	defer f.Close()
 	c.bankFetches.Add(1)
 	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Bank-Key", resolved)
 	io.Copy(w, f)
 }

@@ -5,6 +5,7 @@ import (
 	"context"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"sync"
 	"testing"
 	"time"
@@ -177,6 +178,85 @@ func TestPeerReadThrough(t *testing.T) {
 	key := core.BankKeyForPopulation(pop, opts, seed)
 	if b, err := coldStore.Get(key); err != nil || b == nil {
 		t.Errorf("peer-fetched bank not persisted locally: %v, %v", b, err)
+	}
+}
+
+// TestPeerBankAliasMiss: growth moves a bank to a new content address on
+// the warm peer, leaving a store alias behind. GET /v1/banks/{key} serves
+// through the alias and names the entry actually served (X-Bank-Key); the
+// builder's read-through tier must treat the moved bank as a miss — its
+// cache key promises an exact config pool — and build the real pool locally.
+func TestPeerBankAliasMiss(t *testing.T) {
+	pop, opts, seed := testPop(t), testOpts(), uint64(13)
+	store, err := core.NewBankStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, ts := newTestCluster(t, CoordinatorOptions{ShardConfigs: 2, SelfBuild: 1, Store: store})
+	if _, err := warm.BuildSharded(pop, opts, seed); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate growth on the peer: a different bank under a new address, an
+	// alias at the old address, the old entry pruned.
+	key := core.BankKeyForPopulation(pop, opts, seed)
+	moved, err := core.BuildBank(pop, opts, seed+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newKey := core.BankKeyForPopulation(pop, opts, seed+1)
+	if err := store.Put(newKey, moved); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(store.Path(key)); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.WriteAlias(key, newKey); err != nil {
+		t.Fatal(err)
+	}
+
+	// A raw GET through the old key serves the moved bank and says so.
+	resp, err := http.Get(ts.URL + "/v1/banks/" + key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("alias GET status = %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Bank-Key"); got != newKey {
+		t.Fatalf("X-Bank-Key = %q, want %q", got, newKey)
+	}
+	served, err := core.DecodeBank(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if core.BankFingerprint(served) != core.BankFingerprint(moved) {
+		t.Error("alias GET served the wrong bank")
+	}
+
+	// The builder refuses the substitute and produces the exact pool.
+	coldStore, err := core.NewBankStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := &Builder{Store: coldStore, Peers: []string{ts.URL}}
+	bank, cached, err := cold.BuildBank(pop, opts, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached {
+		t.Error("moved peer bank was accepted as a cache hit")
+	}
+	local, err := core.BuildBank(pop, opts, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if core.BankFingerprint(bank) != core.BankFingerprint(local) {
+		t.Error("fallback build differs from the exact local build")
+	}
+	if st := cold.Stats(); st.PeerHits != 0 || st.PeerMisses != 1 {
+		t.Errorf("builder stats = %+v, want 0 hits / 1 miss", st)
 	}
 }
 

@@ -159,6 +159,12 @@ type Suite struct {
 	// bankEntry.bank itself is only synchronized by the entry's once).
 	ready map[string]bool
 	pool  []fl.HParams // shared config pool across datasets
+	// grownPools overrides the shared pool per dataset once GrowBank has
+	// extended its bank (the union pool defines the new content address).
+	grownPools map[string][]fl.HParams
+
+	// growMu serializes GrowBank per suite (growth is train-then-swap).
+	growMu sync.Mutex
 
 	builds atomic.Int64 // banks actually trained (cache hits excluded)
 }
@@ -176,11 +182,12 @@ type bankEntry struct {
 // NewSuite prepares a suite (populations and banks are created on demand).
 func NewSuite(cfg Config) *Suite {
 	return &Suite{
-		Cfg:       cfg,
-		pops:      map[string]*popEntry{},
-		banks:     map[string]*bankEntry{},
-		installed: map[string]bool{},
-		ready:     map[string]bool{},
+		Cfg:        cfg,
+		pops:       map[string]*popEntry{},
+		banks:      map[string]*bankEntry{},
+		installed:  map[string]bool{},
+		ready:      map[string]bool{},
+		grownPools: map[string][]fl.HParams{},
 	}
 }
 
@@ -298,8 +305,9 @@ func (s *Suite) buildCached(label string, pop *data.Population, opts core.BuildO
 }
 
 // BankBuildInputs returns the exact inputs Bank(name) hands to the bank
-// builder: the scaled dataset spec, the build options (shared pool included),
-// and the seed. Exposed so callers can compute the bank's content address
+// builder: the scaled dataset spec, the build options (the dataset's
+// effective config pool included — the shared pool, or the grown union once
+// GrowBank has extended it), and the seed. Exposed so callers can compute the bank's content address
 // (core.BankKey) — and from it a run key — without forcing the build; the
 // population itself is deterministic in (spec, Cfg.Seed), so the
 // spec/options/seed triple fully determines bank content.
@@ -309,7 +317,7 @@ func (s *Suite) BankBuildInputs(name string) (data.Spec, core.BuildOptions, uint
 	opts.MaxRounds = s.Cfg.MaxRounds
 	opts.Partitions = []float64{0.5, 1}
 	opts.Workers = s.Cfg.Workers
-	opts.Configs = s.SharedPool()
+	opts.Configs = s.poolFor(name)
 	return s.Cfg.spec(name), opts, s.Cfg.Seed + uint64(len(name))
 }
 

@@ -1,0 +1,97 @@
+package exper
+
+import (
+	"os"
+	"testing"
+
+	"noisyeval/internal/core"
+)
+
+func TestSuiteGrowBank(t *testing.T) {
+	st, err := core.NewBankStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSuite(tinyConfig())
+	s.SetStore(st)
+
+	oldBank := s.Bank("cifar10")
+	oldN := len(oldBank.Configs)
+	oldKey := s.BankKeyFor("cifar10")
+	femnistKey := s.BankKeyFor("femnist")
+	pop := s.Population("cifar10")
+	_, oldOpts, seed := s.BankBuildInputs("cifar10")
+	oldPopKey := core.BankKeyForPopulation(pop, oldOpts, seed)
+
+	grown, res, err := s.GrowBank("cifar10", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dataset != "cifar10" || res.Added != 2 || res.Total != oldN+2 {
+		t.Fatalf("result = %+v", res)
+	}
+	if res.OldKey != oldKey || res.NewKey == oldKey {
+		t.Fatalf("content address did not advance: %+v", res)
+	}
+	if len(grown.Configs) != oldN+2 {
+		t.Fatalf("grown bank has %d configs", len(grown.Configs))
+	}
+	for i := 0; i < oldN; i++ {
+		if grown.Configs[i] != oldBank.Configs[i] {
+			t.Fatal("growth reordered the existing pool")
+		}
+	}
+
+	// The suite now serves the grown bank under the advanced address; the
+	// in-flight reader's old bank is untouched.
+	if s.BankKeyFor("cifar10") != res.NewKey {
+		t.Fatal("BankKeyFor does not report the new address")
+	}
+	if s.Bank("cifar10") != grown {
+		t.Fatal("suite does not serve the grown bank")
+	}
+	if len(oldBank.Configs) != oldN {
+		t.Fatal("growth mutated the old bank")
+	}
+	// Other datasets keep the shared pool and their addresses.
+	if s.BankKeyFor("femnist") != femnistKey {
+		t.Fatal("growth of cifar10 changed femnist's address")
+	}
+
+	// Persistence: the grown bank landed under its new population-level
+	// address, and the old address aliases to it.
+	_, newOpts, _ := s.BankBuildInputs("cifar10")
+	newPopKey := core.BankKeyForPopulation(pop, newOpts, seed)
+	if !st.Has(newPopKey) {
+		t.Fatal("grown bank not persisted under its new address")
+	}
+	// While the old entry survives, the old address still serves the exact
+	// bank it promises (concrete beats alias); once it is evicted, the alias
+	// forwards readers to the grown superset.
+	if got := st.Resolve(oldPopKey); got != oldPopKey {
+		t.Fatalf("old address with live entry resolves to %s, want itself", got)
+	}
+	if err := os.Remove(st.Path(oldPopKey)); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Resolve(oldPopKey); got != newPopKey {
+		t.Fatalf("evicted old address resolves to %s, want %s", got, newPopKey)
+	}
+
+	// Validation.
+	if _, _, err := s.GrowBank("nope", 1); err == nil {
+		t.Error("grew an unknown dataset")
+	}
+	if _, _, err := s.GrowBank("cifar10", 0); err == nil {
+		t.Error("grew by zero")
+	}
+
+	// Growth composes: a second grow advances the address again.
+	_, res2, err := s.GrowBank("cifar10", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.OldKey != res.NewKey || res2.NewKey == res.NewKey || res2.Total != oldN+3 {
+		t.Fatalf("second grow = %+v", res2)
+	}
+}

@@ -3,6 +3,7 @@ package serve
 import (
 	"encoding/base64"
 	"encoding/json"
+	"errors"
 	"expvar"
 	"fmt"
 	"io"
@@ -31,7 +32,10 @@ import (
 //	POST   /v1/sessions/{id}/tell  answer asks / evaluate caller-chosen configs
 //	DELETE /v1/sessions/{id}       close a session
 //	GET    /v1/banks               cached banks in the shared store
-//	GET    /healthz                liveness + queue depth
+//	POST   /v1/banks/{key}/grow    extend a served bank with freshly trained
+//	                               configs; the content address advances and
+//	                               the old key stays valid as a store alias
+//	GET    /healthz                liveness + queue depth + bank-store state
 //	GET    /debug/vars             expvar counters (runs, sessions, bank cache, HTTP)
 //
 // Every non-2xx response carries the {"error":{"code","message"}} envelope
@@ -70,6 +74,7 @@ func NewServer(m *Manager) *Server {
 	s.mux.HandleFunc("POST /v1/sessions/{id}/tell", s.handleSessionTell)
 	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleSessionClose)
 	s.mux.HandleFunc("GET /v1/banks", s.handleBanks)
+	s.mux.HandleFunc("POST /v1/banks/{key}/grow", s.handleBankGrow)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /debug/vars", s.handleVars)
 	return s
@@ -395,7 +400,47 @@ func (s *Server) handleBanks(w http.ResponseWriter, r *http.Request) {
 		"stats": map[string]int64{
 			"hits": st.Hits, "misses": st.Misses, "builds": st.Builds,
 			"evicted": st.Evicted, "stale_format": st.StaleFormat,
+			"corrupt_segment": st.CorruptSegment,
 		},
+	})
+}
+
+// handleBankGrow implements POST /v1/banks/{key}/grow: extend the served
+// bank addressed by key with {"add": n} freshly sampled configs. The grown
+// bank's content address advances (returned as new_key); the old key keeps
+// resolving through a store alias, so peers and clients holding it are
+// unaffected. Answers 404 when no suite serves a bank under that key —
+// growth never cold-builds.
+func (s *Server) handleBankGrow(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Add int `json:"add"`
+	}
+	dec := json.NewDecoder(io.LimitReader(r.Body, s.maxBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "decode request: %v", err)
+		return
+	}
+	if req.Add < 1 {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "add %d must be >= 1", req.Add)
+		return
+	}
+	res, err := s.mgr.GrowBank(r.PathValue("key"), req.Add)
+	switch {
+	case err == nil:
+	case errors.Is(err, ErrUnknownBank):
+		writeError(w, http.StatusNotFound, CodeNotFound, "%v", err)
+		return
+	default:
+		writeError(w, http.StatusInternalServerError, CodeInternal, "grow bank: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"dataset": res.Dataset,
+		"old_key": res.OldKey,
+		"new_key": res.NewKey,
+		"added":   res.Added,
+		"total":   res.Total,
 	})
 }
 
@@ -418,6 +463,18 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	payload["journal"] = journal
+	banks := map[string]any{"enabled": false}
+	if store := s.mgr.Store(); store != nil {
+		st := store.Stats()
+		ms := store.Mapped()
+		banks["enabled"] = true
+		banks["dir"] = store.Dir()
+		banks["mapped_files"] = ms.Files
+		banks["mapped_bytes"] = ms.Bytes
+		banks["grows"] = c.BankGrows
+		banks["corrupt_segment"] = st.CorruptSegment
+	}
+	payload["banks"] = banks
 	writeJSON(w, http.StatusOK, payload)
 }
 
@@ -464,7 +521,12 @@ func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {
 	setInt("bank_cache_builds", st.Builds)
 	setInt("bank_cache_evicted", st.Evicted)
 	setInt("bank_cache_stale_format", st.StaleFormat)
+	setInt("bank_cache_corrupt_segment", st.CorruptSegment)
 	setInt("bank_builds_trained", s.mgr.BankBuilds())
+	ms := s.mgr.Store().Mapped() // nil-safe: zero stats without a store
+	setInt("bank_mapped_files", ms.Files)
+	setInt("bank_mapped_bytes", ms.Bytes)
+	setInt("bank_grow_total", c.BankGrows)
 	setInt("http_requests_in_flight", s.inFl.Load())
 	setInt("http_requests_total", s.total.Load())
 	s.varsMu.Lock()

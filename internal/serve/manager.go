@@ -31,6 +31,9 @@ var (
 	// queue is under pressure, preserving capacity for warm-cache work that
 	// clears quickly (503 + Retry-After).
 	ErrShedCold = errors.New("queue under pressure: cold-bank submission shed")
+	// ErrUnknownBank rejects a grow request whose key matches no bank any
+	// scale's suite has resolved (HTTP 404).
+	ErrUnknownBank = errors.New("unknown bank key")
 )
 
 // Options configures a Manager. The zero value works: quick/full scales, a
@@ -104,6 +107,8 @@ type Counters struct {
 	SessionsOpen   int64 `json:"sessions_open"`
 	SessionsOpened int64 `json:"sessions_opened"`
 	SessionsReaped int64 `json:"sessions_reaped"`
+
+	BankGrows int64 `json:"bank_grows"` // successful POST /v1/banks/{key}/grow calls
 }
 
 // Manager owns the run lifecycle: it validates and keys submissions,
@@ -128,7 +133,7 @@ type Manager struct {
 	janitorStop chan struct{}
 
 	started, completed, failed, cancelled, deduped, active, queued atomic.Int64
-	recovered, parked, shed                                        atomic.Int64
+	recovered, parked, shed, grows                                 atomic.Int64
 }
 
 // NewManager starts a manager (worker pool and TTL janitor included).
@@ -492,7 +497,38 @@ func (m *Manager) Counters() Counters {
 		SessionsOpen:   int64(m.sessions.Len()),
 		SessionsOpened: m.sessions.Opened(),
 		SessionsReaped: m.sessions.Reaped(),
+
+		BankGrows: m.grows.Load(),
 	}
+}
+
+// GrowBank extends the served bank whose spec-level content address is key
+// by add freshly sampled configs (exper.Suite.GrowBank) and reports the
+// advanced address. The key must belong to a bank some scale's suite has
+// already resolved — growing a bank that was never built would have to
+// cold-build it first, which is the run path's job, not the grow endpoint's.
+// A key matching no resolved bank wraps ErrUnknownBank.
+func (m *Manager) GrowBank(key string, add int) (exper.GrowResult, error) {
+	m.mu.Lock()
+	suites := make([]*exper.Suite, 0, len(m.suites))
+	for _, s := range m.suites {
+		suites = append(suites, s)
+	}
+	m.mu.Unlock()
+	for _, s := range suites {
+		for _, ds := range exper.DatasetNames {
+			if !s.BankReady(ds) || s.BankKeyFor(ds) != key {
+				continue
+			}
+			_, res, err := s.GrowBank(ds, add)
+			if err != nil {
+				return exper.GrowResult{}, err
+			}
+			m.grows.Add(1)
+			return res, nil
+		}
+	}
+	return exper.GrowResult{}, fmt.Errorf("%w: %q", ErrUnknownBank, key)
 }
 
 // BankBuilds reports how many banks the manager's suites actually trained

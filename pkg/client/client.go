@@ -245,6 +245,17 @@ type HealthJournal struct {
 	LastSnapshot string `json:"last_snapshot,omitempty"`
 }
 
+// HealthBanks mirrors the banks block of GET /healthz: bank-store state,
+// including how much of the cache is currently mmap-served.
+type HealthBanks struct {
+	Enabled        bool   `json:"enabled"`
+	Dir            string `json:"dir,omitempty"`
+	MappedFiles    int64  `json:"mapped_files,omitempty"`
+	MappedBytes    int64  `json:"mapped_bytes,omitempty"`
+	Grows          int64  `json:"grows,omitempty"`
+	CorruptSegment int64  `json:"corrupt_segment,omitempty"`
+}
+
 // Health mirrors GET /healthz.
 type Health struct {
 	Status     string        `json:"status"`
@@ -252,6 +263,16 @@ type Health struct {
 	RunsActive int64         `json:"runs_active"`
 	RunsQueued int64         `json:"runs_queued"`
 	Journal    HealthJournal `json:"journal"`
+	Banks      HealthBanks   `json:"banks"`
+}
+
+// GrowBankResult mirrors the response of POST /v1/banks/{key}/grow.
+type GrowBankResult struct {
+	Dataset string `json:"dataset"`
+	OldKey  string `json:"old_key"`
+	NewKey  string `json:"new_key"`
+	Added   int    `json:"added"`
+	Total   int    `json:"total"`
 }
 
 // APIError is a non-2xx response: the HTTP status plus the server's coded
@@ -549,4 +570,14 @@ func (c *Client) GetHealth(ctx context.Context) (Health, error) {
 	var h Health
 	err := c.do(ctx, http.MethodGet, "/healthz", nil, &h)
 	return h, err
+}
+
+// GrowBank asks the daemon to extend the bank addressed by key with add
+// freshly trained configs (POST /v1/banks/{key}/grow). On success the
+// bank's content address has advanced to NewKey; the old key keeps
+// resolving through a store alias.
+func (c *Client) GrowBank(ctx context.Context, key string, add int) (GrowBankResult, error) {
+	var res GrowBankResult
+	err := c.do(ctx, http.MethodPost, "/v1/banks/"+url.PathEscape(key)+"/grow", map[string]int{"add": add}, &res)
+	return res, err
 }
