@@ -44,7 +44,7 @@ race:
 		./internal/core ./internal/exper
 	NOISYEVAL_CACHE_DIR=$(CACHE_DIR) $(GO) test -race \
 		-run 'TestAskTell|TestSession' ./internal/hpo ./internal/serve
-	NOISYEVAL_CACHE_DIR=$(CACHE_DIR) $(GO) test -race ./internal/serve ./internal/dist
+	NOISYEVAL_CACHE_DIR=$(CACHE_DIR) $(GO) test -race ./internal/serve ./internal/dist ./internal/obs
 
 bench:
 	NOISYEVAL_CACHE_DIR=$(CACHE_DIR) $(GO) test -bench=. -benchtime=1x -run '^$$' . | tee bench.out
@@ -53,7 +53,7 @@ bench:
 # The gated benchmarks run at a real -benchtime (unlike the 1x smoke pass)
 # so their ns/op is stable enough to diff against the committed baseline.
 bench-json:
-	NOISYEVAL_CACHE_DIR=$(CACHE_DIR) $(GO) test -bench 'BenchmarkFederatedRound$$|BenchmarkBankBuild$$|BenchmarkBankEncode$$|BenchmarkBankDecode$$|BenchmarkBankOpenMmap$$|BenchmarkOracleTrials$$|BenchmarkOracleTrialsMapped$$' -benchmem -benchtime 2s -run '^$$' . | tee bench-gated.out
+	NOISYEVAL_CACHE_DIR=$(CACHE_DIR) $(GO) test -bench 'BenchmarkFederatedRound$$|BenchmarkBankBuild$$|BenchmarkBankEncode$$|BenchmarkBankDecode$$|BenchmarkBankOpenMmap$$|BenchmarkOracleTrials$$|BenchmarkOracleTrialsMapped$$|BenchmarkObsOverhead$$' -benchmem -benchtime 2s -run '^$$' . | tee bench-gated.out
 	$(GO) run ./tools/bench2json < bench-gated.out > BENCH_latest.json
 
 # ns/op and B/op gate at 25% over the committed baseline (refreshed when a
@@ -62,7 +62,7 @@ bench-json:
 # machine-independently. See tools/benchdiff.
 bench-check: bench-json
 	$(GO) run ./tools/benchdiff -baseline BENCH_baseline.json -latest BENCH_latest.json \
-		-bench BenchmarkFederatedRound,BenchmarkBankBuild,BenchmarkBankEncode,BenchmarkBankDecode,BenchmarkBankOpenMmap,BenchmarkOracleTrials,BenchmarkOracleTrialsMapped \
+		-bench BenchmarkFederatedRound,BenchmarkBankBuild,BenchmarkBankEncode,BenchmarkBankDecode,BenchmarkBankOpenMmap,BenchmarkOracleTrials,BenchmarkOracleTrialsMapped,BenchmarkObsOverhead \
 		-max-regress 0.25 -max-allocs-frac 1.25
 
 # Coverage-guided fuzzing of the two bank codecs, 15s each: the v3

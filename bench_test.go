@@ -28,6 +28,7 @@ import (
 	"noisyeval/internal/core"
 	"noisyeval/internal/exper"
 	"noisyeval/internal/hpo"
+	"noisyeval/internal/obs"
 	"noisyeval/internal/rng"
 	"noisyeval/internal/serve"
 	"noisyeval/internal/stats"
@@ -427,6 +428,38 @@ func BenchmarkOracleTrials(b *testing.B) {
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(100*b.N)/b.Elapsed().Seconds(), "trials/s")
+}
+
+// BenchmarkObsOverhead measures the fully instrumented oracle evaluation
+// step: one warm BankOracle.Evaluate plus exactly the obs work the trial
+// loop adds per evaluation — one histogram Observe and one counter Inc.
+// The benchdiff gate pins allocs/op at 0: the first allocation the
+// instrumentation introduces fails CI, which is what keeps /metrics
+// collection free on the hot path.
+func BenchmarkObsOverhead(b *testing.B) {
+	oracle, err := core.NewBankOracle(codecBenchBank, 0, noisyeval.SchemeWithCount(10), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	trial := oracle.WithTrial(0) // scratch-backed: the warm 0-alloc path
+	cfg := codecBenchBank.Configs[0]
+	reg := obs.NewRegistry()
+	hist := reg.Histogram("bench_trial_seconds", "Instrumentation-overhead bench histogram.", nil)
+	ctr := reg.Counter("bench_trials_total", "Instrumentation-overhead bench counter.")
+	trial.Evaluate(cfg, 405, "warm") // populate the scratch before timing
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		sink += trial.Evaluate(cfg, 405, "warm")
+		hist.Observe(time.Since(start).Seconds())
+		ctr.Inc()
+	}
+	b.StopTimer()
+	if sink == 0 {
+		b.Fatal("evaluations produced no signal")
+	}
 }
 
 // BenchmarkBankOpenMmap measures opening a bankfmt/v4 segmented bank for

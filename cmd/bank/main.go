@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -23,6 +24,7 @@ import (
 	"noisyeval/internal/core"
 	"noisyeval/internal/data"
 	"noisyeval/internal/fl"
+	"noisyeval/internal/obs"
 	"noisyeval/internal/rng"
 )
 
@@ -99,13 +101,13 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		store.Logf = log.Printf
+		store.Log = obs.NewLogger(os.Stderr, obs.LevelInfo).Named("bankstore")
 		log.Printf("bank cache at %s (key %s)", store.Dir(), core.BankKeyForPopulation(pop, opts, *seed))
 	}
 
 	log.Printf("training %d configs x %d rounds (checkpoints at rungs, partitions %v)...", *configs, *rounds, append([]float64{0}, ps...))
 	start := time.Now()
-	bank, hit, err := core.BuildBankCached(store, pop, opts, *seed)
+	bank, hit, err := core.BuildBankCached(context.Background(), store, pop, opts, *seed)
 	if err != nil {
 		log.Fatal(err)
 	}

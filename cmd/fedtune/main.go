@@ -20,6 +20,7 @@ import (
 	"noisyeval/internal/core"
 	"noisyeval/internal/exper"
 	"noisyeval/internal/hpo"
+	"noisyeval/internal/obs"
 )
 
 func main() {
@@ -60,7 +61,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		store.Logf = log.Printf
+		store.Log = obs.NewLogger(os.Stderr, obs.LevelInfo).Named("bankstore")
 		suite.SetStore(store)
 		log.Printf("bank cache at %s", store.Dir())
 		core.BoundCache(store, *cacheMaxBytes, log.Printf)

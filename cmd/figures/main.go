@@ -29,6 +29,7 @@ import (
 	"noisyeval/internal/core"
 	"noisyeval/internal/dist"
 	"noisyeval/internal/exper"
+	"noisyeval/internal/obs"
 	"noisyeval/internal/plot"
 )
 
@@ -68,7 +69,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		store.Logf = log.Printf
+		store.Log = obs.NewLogger(os.Stderr, obs.LevelInfo).Named("bankstore")
 		suite.SetStore(store)
 		log.Printf("bank cache at %s", store.Dir())
 		core.BoundCache(store, *cacheMaxBytes, log.Printf)

@@ -19,6 +19,8 @@
 //	curl -s -X POST localhost:8723/v1/sessions/sess-000001/ask
 //	curl -s -X POST localhost:8723/v1/sessions/sess-000001/tell -d '{"answers":[{"ask_id":0}]}'
 //	curl -s localhost:8723/v1/banks
+//	curl -s localhost:8723/v1/runs/run-000001/trace
+//	curl -s localhost:8723/metrics
 //	curl -s localhost:8723/debug/vars
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: in-flight runs drain, then the
@@ -42,6 +44,7 @@ import (
 
 	"noisyeval/internal/core"
 	"noisyeval/internal/dist"
+	"noisyeval/internal/obs"
 	"noisyeval/internal/serve"
 )
 
@@ -70,8 +73,22 @@ func main() {
 		shedThreshold = flag.Float64("shed-threshold", 0, "shed cold-bank submissions once the queue holds this fraction of -queue (e.g. 0.5; <= 0 disables shedding)")
 		execDelay     = flag.Duration("exec-delay", 0, "fault injection: pad every run's execution by this duration so crash/load harnesses can catch runs in flight (0 = off)")
 		mmapBanks     = flag.Bool("mmap-banks", false, "serve cached banks zero-copy from mmap'd bankfmt/v4 files instead of decoding to heap (requires -cache-dir)")
+		logLevel      = flag.String("log-level", "info", "structured log level: debug|info|warn|error")
+		pprofAddr     = flag.String("pprof-addr", "", "listen address for net/http/pprof profiling endpoints (empty = disabled)")
 	)
 	flag.Parse()
+
+	lvl, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	logger := obs.NewLogger(os.Stderr, lvl)
+
+	if *pprofAddr != "" {
+		if _, err := obs.ServePprof(*pprofAddr, logger); err != nil {
+			log.Fatal(err)
+		}
+	}
 
 	var store *core.BankStore
 	if *cacheDir != "" {
@@ -80,9 +97,9 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		store.Logf = log.Printf
+		store.Log = logger.Named("bankstore")
 		log.Printf("bank cache at %s", store.Dir())
-		core.BoundCache(store, *cacheMaxBytes, log.Printf)
+		core.BoundCache(store, *cacheMaxBytes, obs.LogfSink(logger.Named("bankstore")))
 		if *mmapBanks {
 			store.SetMapped(true)
 			log.Printf("bank cache mmap mode: v4 banks served zero-copy, writes use bankfmt/v4")
@@ -130,7 +147,7 @@ func main() {
 			Dir:             *journalDir,
 			MaxBytes:        *journalMax,
 			CompactWALBytes: *journalComp,
-			Logf:            log.Printf,
+			Logf:            obs.LogfSink(logger.Named("journal")),
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -153,6 +170,7 @@ func main() {
 		Journal:          journal,
 		ShedColdFraction: *shedThreshold,
 		ExecDelay:        *execDelay,
+		Log:              logger,
 	})
 	daemon := serve.NewDaemon(*addr, mgr)
 	if coord != nil {
@@ -169,6 +187,27 @@ func main() {
 			set("dist_shards_self_built", st.ShardsSelfBuilt)
 			set("dist_workers_seen", st.WorkersSeen)
 		})
+		// The same coordinator counters as Prometheus views, so one /metrics
+		// scrape covers the fleet-build plane too.
+		reg := mgr.Metrics()
+		reg.CounterFunc("dist_builds_started_total", "Sharded bank builds started.",
+			func() int64 { return coord.Stats().BuildsStarted })
+		reg.CounterFunc("dist_builds_completed_total", "Sharded bank builds completed.",
+			func() int64 { return coord.Stats().BuildsCompleted })
+		reg.GaugeFunc("dist_shards_pending", "Shard jobs waiting for a lease.",
+			func() int64 { return coord.Stats().ShardsPending })
+		reg.GaugeFunc("dist_shards_leased", "Shard jobs currently leased.",
+			func() int64 { return coord.Stats().ShardsLeased })
+		reg.CounterFunc("dist_shards_completed_total", "Shard jobs accepted.",
+			func() int64 { return coord.Stats().ShardsCompleted })
+		reg.CounterFunc("dist_shards_requeued_total", "Shard leases expired and requeued.",
+			func() int64 { return coord.Stats().ShardsRequeued })
+		reg.CounterFunc("dist_shards_duplicate_total", "Duplicate shard uploads discarded.",
+			func() int64 { return coord.Stats().ShardsDuplicate })
+		reg.CounterFunc("dist_shards_self_built_total", "Shards built by the coordinator's own loop.",
+			func() int64 { return coord.Stats().ShardsSelfBuilt })
+		reg.GaugeFunc("dist_workers_seen", "Distinct workers that have ever leased.",
+			func() int64 { return coord.Stats().WorkersSeen })
 	}
 	bound, err := daemon.Listen()
 	if err != nil {

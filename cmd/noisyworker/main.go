@@ -8,6 +8,7 @@
 //	noisyworker -coordinator http://host:8723 -addr :8724
 //
 //	curl -s localhost:8724/healthz      # liveness + coordinator URL
+//	curl -s localhost:8724/metrics      # Prometheus exposition (train histogram + counters)
 //	curl -s localhost:8724/debug/vars   # lease/shard counters
 //
 // SIGINT/SIGTERM drain gracefully: the shard in flight finishes and uploads
@@ -28,6 +29,7 @@ import (
 	"time"
 
 	"noisyeval/internal/dist"
+	"noisyeval/internal/obs"
 )
 
 func main() {
@@ -40,14 +42,29 @@ func main() {
 		name        = flag.String("name", "", "worker identity in leases and stats (default host-pid)")
 		poll        = flag.Duration("poll", 500*time.Millisecond, "idle re-lease interval")
 		jobs        = flag.Int("jobs", 0, "per-shard training parallelism (0 = GOMAXPROCS)")
+		logLevel    = flag.String("log-level", "info", "structured log level: debug|info|warn|error")
+		pprofAddr   = flag.String("pprof-addr", "", "listen address for net/http/pprof profiling endpoints (empty = disabled)")
 	)
 	flag.Parse()
 
+	lvl, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	logger := obs.NewLogger(os.Stderr, lvl)
+	if *pprofAddr != "" {
+		if _, err := obs.ServePprof(*pprofAddr, logger); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	metrics := obs.NewRegistry()
 	w := dist.NewWorker(dist.WorkerOptions{
 		Coordinator: *coordinator,
 		Name:        *name,
 		Poll:        *poll,
 		Workers:     *jobs,
+		Metrics:     metrics,
 	})
 	log.Printf("worker %s pulling from %s", w.Name(), *coordinator)
 
@@ -69,6 +86,10 @@ func main() {
 			enc.SetIndent("", "  ")
 			enc.Encode(w.Counters())
 		})
+		mux.HandleFunc("GET /metrics", func(rw http.ResponseWriter, r *http.Request) {
+			rw.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			metrics.WritePrometheus(rw)
+		})
 		ln, err := net.Listen("tcp", *addr)
 		if err != nil {
 			log.Fatal(err)
@@ -81,7 +102,7 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	err := w.Run(ctx)
+	err = w.Run(ctx)
 	c := w.Counters()
 	log.Printf("drained: %d shards built, %d failed, %d leases, %s uploaded",
 		c.ShardsBuilt, c.ShardsFailed, c.Leases, fmtBytes(c.BytesUploaded))

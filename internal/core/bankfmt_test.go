@@ -15,6 +15,7 @@ import (
 
 	"noisyeval/internal/data"
 	"noisyeval/internal/fl"
+	"noisyeval/internal/obs"
 	"noisyeval/internal/rng"
 )
 
@@ -255,10 +256,8 @@ func TestBankStoreStaleFormatEvictedAndRebuilt(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var logged []string
-	store.Logf = func(format string, args ...any) {
-		logged = append(logged, fmt.Sprintf(format, args...))
-	}
+	var logBuf bytes.Buffer
+	store.Log = obs.NewLogger(&logBuf, obs.LevelInfo).Named("bankstore")
 	key := BankKey(tinySpec(), tinyBuildOptions(), 7)
 
 	// Plant a legacy v2 gob+gzip entry exactly where the current key lives —
@@ -277,8 +276,9 @@ func TestBankStoreStaleFormatEvictedAndRebuilt(t *testing.T) {
 	if st.StaleFormat != 1 || st.Evicted != 1 {
 		t.Errorf("stats = %+v, want StaleFormat=1 Evicted=1", st)
 	}
-	if len(logged) != 1 || !strings.Contains(logged[0], "stale-format") {
-		t.Errorf("stale eviction not logged: %q", logged)
+	if logLine := logBuf.String(); strings.Count(logLine, "event=bank_evict") != 1 ||
+		!strings.Contains(logLine, "reason=stale_format") {
+		t.Errorf("stale eviction not logged: %q", logLine)
 	}
 
 	// GetOrBuild transparently rebuilds and re-stores in the new format.

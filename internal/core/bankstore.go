@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/gob"
 	"encoding/hex"
@@ -16,6 +17,7 @@ import (
 	"time"
 
 	"noisyeval/internal/data"
+	"noisyeval/internal/obs"
 )
 
 // bankKeyVersion is bumped whenever the meaning of any hashed field changes,
@@ -134,9 +136,12 @@ type StoreStats struct {
 type BankStore struct {
 	dir string
 
-	// Logf, when set, receives operational log lines (stale-format
-	// evictions). Set it right after NewBankStore, before concurrent use.
-	Logf func(format string, args ...any)
+	// Log, when set, receives operational events (stale-format and
+	// corrupt-segment evictions) as structured lines, on the same obs
+	// pipeline as serve events — one grep finds every eviction in a
+	// process. Set it right after NewBankStore, before concurrent use. A
+	// nil logger is a silent no-op.
+	Log *obs.Logger
 
 	mu       sync.Mutex
 	inflight map[string]*storeCall
@@ -253,14 +258,12 @@ func (s *BankStore) evictBroken(key, path string, err error) {
 	switch {
 	case IsStaleBankFormat(err):
 		s.staleFormat.Add(1)
-		if s.Logf != nil {
-			s.Logf("bank store: evicting stale-format entry %s (will rebuild): %v", key, err)
-		}
+		s.Log.Warn("evicting bank cache entry, will rebuild",
+			"event", "bank_evict", "reason", "stale_format", "key", key, "err", err)
 	case errors.As(err, &ce):
 		s.corruptSegment.Add(1)
-		if s.Logf != nil {
-			s.Logf("bank store: evicting corrupt entry %s (will rebuild): %v", key, err)
-		}
+		s.Log.Warn("evicting bank cache entry, will rebuild",
+			"event", "bank_evict", "reason", "corrupt_segment", "key", key, "err", err)
 	}
 }
 
@@ -653,16 +656,37 @@ func (s *BankStore) Resolve(key string) string {
 // stored bank when the content address (BankKeyForPopulation) hits, and
 // builds + stores it otherwise. The returned bool reports a cache hit. A nil
 // store degrades to a plain BuildBank.
-func BuildBankCached(store *BankStore, pop *data.Population, opts BuildOptions, seed uint64) (*Bank, bool, error) {
+//
+// When ctx carries an obs.Trace, the call records a bank.build span around
+// actual training or a bank.lookup span for a cache/coalesced hit.
+func BuildBankCached(ctx context.Context, store *BankStore, pop *data.Population, opts BuildOptions, seed uint64) (*Bank, bool, error) {
+	tr := obs.TraceFrom(ctx)
 	if store == nil {
+		sp := tr.StartSpan("bank.build", "source", "local")
 		b, err := BuildBank(pop, opts, seed)
+		sp.End()
 		return b, false, err
 	}
 	key := BankKeyForPopulation(pop, opts, seed)
 	built := false
+	start := time.Now()
 	b, err := store.GetOrBuild(key, func() (*Bank, error) {
 		built = true
+		sp := tr.StartSpan("bank.build", "key", ShortKey(key), "source", "local")
+		defer sp.End()
 		return BuildBank(pop, opts, seed)
 	})
+	if !built {
+		tr.AddSpan("bank.lookup", start, time.Since(start), "key", ShortKey(key), "hit", "true")
+	}
 	return b, !built && err == nil, err
+}
+
+// ShortKey abbreviates a 64-hex content address for log lines and span
+// attrs; short keys pass through unchanged.
+func ShortKey(key string) string {
+	if len(key) > 12 {
+		return key[:12]
+	}
+	return key
 }

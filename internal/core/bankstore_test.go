@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -248,11 +249,11 @@ func TestBuildBankCachedHitSkipsTraining(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	b1, hit1, err := BuildBankCached(store, pop, opts, 11)
+	b1, hit1, err := BuildBankCached(context.Background(), store, pop, opts, 11)
 	if err != nil || hit1 {
 		t.Fatalf("first build: hit=%v err=%v", hit1, err)
 	}
-	b2, hit2, err := BuildBankCached(store, pop, opts, 11)
+	b2, hit2, err := BuildBankCached(context.Background(), store, pop, opts, 11)
 	if err != nil || !hit2 {
 		t.Fatalf("second build: hit=%v err=%v", hit2, err)
 	}
@@ -260,7 +261,7 @@ func TestBuildBankCachedHitSkipsTraining(t *testing.T) {
 		t.Error("cached bank differs from built bank")
 	}
 	// Nil store degrades to a plain build.
-	_, hit3, err := BuildBankCached(nil, pop, opts, 11)
+	_, hit3, err := BuildBankCached(context.Background(), nil, pop, opts, 11)
 	if err != nil || hit3 {
 		t.Fatalf("nil store: hit=%v err=%v", hit3, err)
 	}

@@ -1,6 +1,10 @@
 package core
 
-import "noisyeval/internal/data"
+import (
+	"context"
+
+	"noisyeval/internal/data"
+)
 
 // BankBuilder abstracts how a bank comes into existence for a given
 // (population, options, seed) triple. exper.Suite, serve.Manager, and the
@@ -9,10 +13,15 @@ import "noisyeval/internal/data"
 // peer read-through, or the internal/dist coordinator/worker fleet — changes
 // where the training happens without touching any layer above.
 //
+// ctx carries cancellation and the run's obs.Trace (obs.TraceFrom): builders
+// record bank.lookup / bank.build spans on it, and the dist coordinator
+// propagates its trace ID to workers over the lease wire so shard spans
+// attach to the same timeline.
+//
 // cached reports that the bank was obtained without training it in this call
 // (a store or peer hit); callers use it to count real builds.
 type BankBuilder interface {
-	BuildBank(pop *data.Population, opts BuildOptions, seed uint64) (b *Bank, cached bool, err error)
+	BuildBank(ctx context.Context, pop *data.Population, opts BuildOptions, seed uint64) (b *Bank, cached bool, err error)
 }
 
 // LocalBuilder is the single-process BankBuilder: BuildBank through an
@@ -23,6 +32,6 @@ type LocalBuilder struct {
 }
 
 // BuildBank implements BankBuilder.
-func (l LocalBuilder) BuildBank(pop *data.Population, opts BuildOptions, seed uint64) (*Bank, bool, error) {
-	return BuildBankCached(l.Store, pop, opts, seed)
+func (l LocalBuilder) BuildBank(ctx context.Context, pop *data.Population, opts BuildOptions, seed uint64) (*Bank, bool, error) {
+	return BuildBankCached(ctx, l.Store, pop, opts, seed)
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"noisyeval/internal/dp"
 	"noisyeval/internal/eval"
@@ -117,6 +118,7 @@ func (t Tuner) RunTrials(oracle *BankOracle, n int, g *rng.RNG) []TrialResult {
 func (t Tuner) RunTrialsProgress(oracle *BankOracle, n int, g *rng.RNG, onTrial func(res TrialResult, completed int)) []TrialResult {
 	results := make([]TrialResult, n)
 	workers := runtime.GOMAXPROCS(0)
+	m := metricsInstruments()
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, workers)
 	var progressMu sync.Mutex
@@ -128,7 +130,10 @@ func (t Tuner) RunTrialsProgress(oracle *BankOracle, n int, g *rng.RNG, onTrial 
 			defer wg.Done()
 			defer func() { <-sem }()
 			o := oracle.WithTrial(i)
+			start := time.Now()
 			h := t.Run(o, g.Splitf("trial-%d", i))
+			m.TrialSeconds.Observe(time.Since(start).Seconds())
+			m.TrialsTotal.Inc()
 			res := TrialResult{Trial: i, History: h, FinalTrue: 1}
 			if rec, ok := h.Recommend(); ok {
 				res.FinalTrue = rec.True

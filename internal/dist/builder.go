@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"context"
 	"fmt"
 	"net/http"
 	"sync/atomic"
@@ -8,6 +9,7 @@ import (
 
 	"noisyeval/internal/core"
 	"noisyeval/internal/data"
+	"noisyeval/internal/obs"
 )
 
 // Builder is the cluster-aware core.BankBuilder: a read-through tier stack
@@ -48,23 +50,36 @@ func (b *Builder) Stats() BuilderStats {
 }
 
 // BuildBank implements core.BankBuilder. cached reports that no training was
-// scheduled anywhere on behalf of this call (local or peer hit).
-func (b *Builder) BuildBank(pop *data.Population, opts core.BuildOptions, seed uint64) (*core.Bank, bool, error) {
+// scheduled anywhere on behalf of this call (local or peer hit). The ctx's
+// obs.Trace (when present) gets a bank.lookup span naming the tier that
+// satisfied the request, and sharded builds propagate the trace into the
+// coordinator so worker shard spans join the same timeline.
+func (b *Builder) BuildBank(ctx context.Context, pop *data.Population, opts core.BuildOptions, seed uint64) (*core.Bank, bool, error) {
+	tr := obs.TraceFrom(ctx)
 	key := core.BankKeyForPopulation(pop, opts, seed)
+	start := time.Now()
 	if bank, err := b.Store.Get(key); err == nil && bank != nil {
+		tr.AddSpan("bank.lookup", start, time.Since(start),
+			"key", core.ShortKey(key), "tier", "store", "hit", "true")
 		return bank, true, nil
 	}
 	if bank := b.fetchFromPeers(key); bank != nil {
 		if b.Store != nil {
 			b.Store.Put(key, bank) // best-effort, like every cache write
 		}
+		tr.AddSpan("bank.lookup", start, time.Since(start),
+			"key", core.ShortKey(key), "tier", "peer", "hit", "true")
 		return bank, true, nil
 	}
+	tr.AddSpan("bank.lookup", start, time.Since(start),
+		"key", core.ShortKey(key), "hit", "false")
 	if b.Coord != nil {
-		bank, err := b.Coord.BuildSharded(pop, opts, seed)
+		sp := tr.StartSpan("bank.build", "key", core.ShortKey(key), "source", "fleet")
+		bank, err := b.Coord.BuildSharded(ctx, pop, opts, seed)
+		sp.End()
 		return bank, false, err
 	}
-	return core.BuildBankCached(b.Store, pop, opts, seed)
+	return core.BuildBankCached(ctx, b.Store, pop, opts, seed)
 }
 
 // fetchFromPeers tries each warm peer in order and returns the first bank

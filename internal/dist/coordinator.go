@@ -1,17 +1,20 @@
 package dist
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"os"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"noisyeval/internal/core"
 	"noisyeval/internal/data"
+	"noisyeval/internal/obs"
 )
 
 // CoordinatorOptions configures a Coordinator. The zero value works for
@@ -106,6 +109,10 @@ type build struct {
 	plan    *core.BuildPlan
 	optsGob []byte
 	seed    uint64
+
+	// trace is the obs trace of the request that started this build (nil
+	// when untraced). Worker and self-build shard spans attach to it.
+	trace *obs.Trace
 
 	pending    int // jobs not yet done
 	assembling bool
@@ -256,20 +263,29 @@ func (c *Coordinator) Store() *core.BankStore { return c.opts.Store }
 
 // BuildBank implements core.BankBuilder: a sharded build through the fleet.
 // cached reports a store hit (no shards were scheduled).
-func (c *Coordinator) BuildBank(pop *data.Population, opts core.BuildOptions, seed uint64) (*core.Bank, bool, error) {
+func (c *Coordinator) BuildBank(ctx context.Context, pop *data.Population, opts core.BuildOptions, seed uint64) (*core.Bank, bool, error) {
+	tr := obs.TraceFrom(ctx)
 	key := core.BankKeyForPopulation(pop, opts, seed)
+	start := time.Now()
 	if b, err := c.opts.Store.Get(key); err == nil && b != nil {
+		tr.AddSpan("bank.lookup", start, time.Since(start),
+			"key", core.ShortKey(key), "tier", "store", "hit", "true")
 		return b, true, nil
 	}
-	b, err := c.BuildSharded(pop, opts, seed)
+	sp := tr.StartSpan("bank.build", "key", core.ShortKey(key), "source", "fleet")
+	b, err := c.BuildSharded(ctx, pop, opts, seed)
+	sp.End()
 	return b, false, err
 }
 
 // BuildSharded splits the build into shard jobs, waits for the fleet (and
 // any self-build goroutines) to complete them, reassembles, verifies, writes
 // the bank through the store, and returns it. Concurrent calls for one
-// content address coalesce onto a single build.
-func (c *Coordinator) BuildSharded(pop *data.Population, opts core.BuildOptions, seed uint64) (*core.Bank, error) {
+// content address coalesce onto a single build. The ctx's obs.Trace (when
+// present) becomes the build's trace: its ID travels in every leased Job so
+// worker shard.train spans land on the same timeline; coalesced waiters
+// join the first caller's build and record no spans of their own.
+func (c *Coordinator) BuildSharded(ctx context.Context, pop *data.Population, opts core.BuildOptions, seed uint64) (*core.Bank, error) {
 	key := core.BankKeyForPopulation(pop, opts, seed)
 
 	// Coalesce before any expensive derivation: concurrent requests for
@@ -286,6 +302,7 @@ func (c *Coordinator) BuildSharded(pop *data.Population, opts core.BuildOptions,
 		key:          key,
 		pop:          pop,
 		seed:         seed,
+		trace:        obs.TraceFrom(ctx),
 		done:         make(chan struct{}),
 		lastProgress: c.opts.Clock(),
 	}
@@ -437,6 +454,7 @@ func (c *Coordinator) Lease(worker string) (Job, bool) {
 			OptsGob:         j.build.optsGob,
 			Attempt:         j.attempts - 1,
 			LeaseTTLSeconds: c.opts.LeaseTTL.Seconds(),
+			TraceID:         j.build.trace.ID(),
 		}, true
 	}
 	return Job{}, false
@@ -447,7 +465,12 @@ func (c *Coordinator) Lease(worker string) (Job, bool) {
 // exists) is acknowledged without effect, so workers whose lease expired —
 // or who raced a re-lease — can upload safely. A shard whose shape does not
 // match the job is rejected and the job re-queued.
-func (c *Coordinator) Complete(id, worker string, sh *core.BankShard) (status string, err error) {
+//
+// spans are worker-side timing (shard.train, decoded from the completion's
+// X-Trace-Spans header, or the self-build loop's own measurement); they
+// attach to the build's trace only when the shard is accepted — duplicate,
+// stale, and rejected work never pollutes the timeline.
+func (c *Coordinator) Complete(id, worker string, sh *core.BankShard, spans ...obs.Span) (status string, err error) {
 	now := c.opts.Clock()
 	c.mu.Lock()
 	if worker != "" {
@@ -493,6 +516,7 @@ func (c *Coordinator) Complete(id, worker string, sh *core.BankShard) (status st
 	}
 	c.mu.Unlock()
 
+	b.trace.Append(spans...)
 	if assemble {
 		c.finishBuild(b)
 	}
@@ -552,6 +576,7 @@ func (c *Coordinator) selfBuildLoop() {
 		if !live {
 			continue
 		}
+		start := time.Now()
 		sh, err := plan.TrainRange(j.Lo, j.Hi, c.opts.Workers)
 		if err != nil {
 			// A local training error is deterministic (bad config, bad
@@ -566,7 +591,10 @@ func (c *Coordinator) selfBuildLoop() {
 			continue
 		}
 		c.selfBuilt.Add(1)
-		c.Complete(j.ID, "__self__", sh)
+		c.Complete(j.ID, "__self__", sh, obs.Span{
+			Name: "shard.train", Start: start, Dur: time.Since(start),
+			Attrs: []string{"worker", "__self__", "range", shardRange(j.Lo, j.Hi)},
+		})
 	}
 }
 
@@ -632,6 +660,9 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusNoContent)
 		return
 	}
+	if job.TraceID != "" {
+		w.Header().Set(obs.TraceIDHeader, job.TraceID)
+	}
 	writeJSON(w, http.StatusOK, map[string]Job{"job": job})
 }
 
@@ -646,7 +677,14 @@ func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "decode shard: %v", err)
 		return
 	}
-	status, err := c.Complete(id, r.URL.Query().Get("worker"), sh)
+	// Worker-side spans ride the completion's X-Trace-Spans header; a
+	// malformed header never fails the upload (the shard is the payload,
+	// observability is best-effort).
+	spans, serr := obs.UnmarshalSpans(r.Header.Get(obs.TraceSpansHeader))
+	if serr != nil {
+		spans = nil
+	}
+	status, err := c.Complete(id, r.URL.Query().Get("worker"), sh, spans...)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -676,6 +714,9 @@ func (c *Coordinator) handlePopulation(w http.ResponseWriter, r *http.Request) {
 func (c *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, c.Stats())
 }
+
+// shardRange renders a [lo, hi) config range for span attrs.
+func shardRange(lo, hi int) string { return strconv.Itoa(lo) + "-" + strconv.Itoa(hi) }
 
 // safeKey guards the file-serving path: store keys are hex content hashes,
 // so anything else (path separators, dots, ..) is rejected outright.

@@ -33,6 +33,12 @@
 //	GET  /v1/work/stats              coordinator counters
 //	GET  /v1/banks/{key}             gzipped bank bytes from the store
 //
+// Trace propagation: a Job carries the trace ID of the build that spawned it
+// (also echoed in the lease response's X-Trace-Id header), and a worker's
+// POST /v1/work/complete returns its shard.train span in the X-Trace-Spans
+// header (obs.MarshalSpans JSON), so worker-side timing attaches to the
+// coordinator-side build trace under one trace ID.
+//
 // Determinism: an assembled bank is byte-identical to a single-process
 // BuildBank of the same (population, options, seed) — pinned by
 // TestShardedBuildByteIdentical and the CI cluster smoke job. See DESIGN.md
@@ -70,6 +76,10 @@ type Job struct {
 	Attempt int `json:"attempt"`
 	// LeaseTTLSeconds tells the worker how long the lease is valid.
 	LeaseTTLSeconds float64 `json:"lease_ttl_seconds"`
+	// TraceID identifies the obs trace of the build this shard belongs to
+	// ("" when the build was requested without a trace). Workers echo it on
+	// completion so their spans attach to the right timeline.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // jobID renders the content address of one shard job.

@@ -87,7 +87,7 @@ func TestClusterBuildByteIdentical(t *testing.T) {
 	w2 := startWorker(t, ts.URL, "w2")
 
 	builder := &Builder{Store: coord.Store(), Coord: coord}
-	bank, cached, err := builder.BuildBank(pop, opts, seed)
+	bank, cached, err := builder.BuildBank(context.Background(), pop, opts, seed)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +121,7 @@ func TestClusterBuildByteIdentical(t *testing.T) {
 
 	// Warm path: the assembled bank was persisted; a second build is a pure
 	// store hit — no shards scheduled, no training anywhere.
-	bank2, cached2, err := builder.BuildBank(pop, opts, seed)
+	bank2, cached2, err := builder.BuildBank(context.Background(), pop, opts, seed)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,7 +144,7 @@ func TestPeerReadThrough(t *testing.T) {
 
 	// Warm peer: a coordinator whose store holds the bank.
 	warm, ts := newTestCluster(t, CoordinatorOptions{ShardConfigs: 2, SelfBuild: 1})
-	if _, err := warm.BuildSharded(pop, opts, seed); err != nil {
+	if _, err := warm.BuildSharded(context.Background(), pop, opts, seed); err != nil {
 		t.Fatal(err)
 	}
 
@@ -156,7 +156,7 @@ func TestPeerReadThrough(t *testing.T) {
 		Store: coldStore,
 		Peers: []string{"http://127.0.0.1:1", ts.URL}, // first peer dead: must fail soft
 	}
-	bank, cached, err := cold.BuildBank(pop, opts, seed)
+	bank, cached, err := cold.BuildBank(context.Background(), pop, opts, seed)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -193,7 +193,7 @@ func TestPeerBankAliasMiss(t *testing.T) {
 		t.Fatal(err)
 	}
 	warm, ts := newTestCluster(t, CoordinatorOptions{ShardConfigs: 2, SelfBuild: 1, Store: store})
-	if _, err := warm.BuildSharded(pop, opts, seed); err != nil {
+	if _, err := warm.BuildSharded(context.Background(), pop, opts, seed); err != nil {
 		t.Fatal(err)
 	}
 
@@ -241,7 +241,7 @@ func TestPeerBankAliasMiss(t *testing.T) {
 		t.Fatal(err)
 	}
 	cold := &Builder{Store: coldStore, Peers: []string{ts.URL}}
-	bank, cached, err := cold.BuildBank(pop, opts, seed)
+	bank, cached, err := cold.BuildBank(context.Background(), pop, opts, seed)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -266,7 +266,7 @@ func TestPeerBankAliasMiss(t *testing.T) {
 func TestSelfBuildDegradesToLocal(t *testing.T) {
 	pop, opts, seed := testPop(t), testOpts(), uint64(9)
 	coord, _ := newTestCluster(t, CoordinatorOptions{ShardConfigs: 2, SelfBuild: 2})
-	bank, err := coord.BuildSharded(pop, opts, seed)
+	bank, err := coord.BuildSharded(context.Background(), pop, opts, seed)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -295,7 +295,7 @@ func TestConcurrentBuildsCoalesce(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			b, err := coord.BuildSharded(pop, opts, seed)
+			b, err := coord.BuildSharded(context.Background(), pop, opts, seed)
 			if err != nil {
 				t.Error(err)
 				return

@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"context"
 	"net/http"
 	"net/http/httptest"
 	"sync"
@@ -59,7 +60,7 @@ func failureCluster(t *testing.T) (*Coordinator, *fakeClock, *core.BuildPlan, ch
 	}
 	result := make(chan error, 1)
 	go func() {
-		_, err := coord.BuildSharded(pop, opts, seed)
+		_, err := coord.BuildSharded(context.Background(), pop, opts, seed)
 		result <- err
 	}()
 	// Wait for the jobs to be enqueued before tests start leasing.
@@ -285,7 +286,7 @@ func TestAttemptCapFailsBuild(t *testing.T) {
 	pop, opts, seed := testPop(t), testOpts(), uint64(17)
 	result := make(chan error, 1)
 	go func() {
-		_, err := coord.BuildSharded(pop, opts, seed)
+		_, err := coord.BuildSharded(context.Background(), pop, opts, seed)
 		result <- err
 	}()
 	for deadline := time.Now().Add(5 * time.Second); time.Now().Before(deadline); time.Sleep(time.Millisecond) {
@@ -342,7 +343,7 @@ func TestStallTimeoutFailsBuild(t *testing.T) {
 	pop, opts, seed := testPop(t), testOpts(), uint64(23)
 	result := make(chan error, 1)
 	go func() {
-		_, err := coord.BuildSharded(pop, opts, seed)
+		_, err := coord.BuildSharded(context.Background(), pop, opts, seed)
 		result <- err
 	}()
 	for deadline := time.Now().Add(5 * time.Second); time.Now().Before(deadline); time.Sleep(time.Millisecond) {
@@ -414,7 +415,7 @@ func TestWorkerCrashMidShardEndToEnd(t *testing.T) {
 	var bank *core.Bank
 	go func() {
 		var err error
-		bank, err = coord.BuildSharded(pop, opts, seed)
+		bank, err = coord.BuildSharded(context.Background(), pop, opts, seed)
 		result <- err
 	}()
 

@@ -15,6 +15,7 @@ import (
 
 	"noisyeval/internal/core"
 	"noisyeval/internal/data"
+	"noisyeval/internal/obs"
 )
 
 // WorkerOptions configures a Worker.
@@ -31,6 +32,10 @@ type WorkerOptions struct {
 	// Client is the HTTP client (default: 2-minute timeout — shard uploads
 	// carry full error tensors).
 	Client *http.Client
+	// Metrics, when set, receives the worker's instruments
+	// (worker_shard_train_seconds plus counter views over the lifetime
+	// counters); cmd/noisyworker serves it at GET /metrics.
+	Metrics *obs.Registry
 }
 
 // WorkerCounters is a snapshot of one worker's lifetime counters, surfaced
@@ -57,6 +62,8 @@ type Worker struct {
 	pops  map[string]*data.Population // by population fingerprint
 	plans map[string]*core.BuildPlan  // by bank key (pop + opts + seed)
 
+	trainSeconds *obs.Histogram // nil when no Metrics registry was given
+
 	leases, leaseEmpty, leaseErrors atomic.Int64
 	shardsBuilt, shardsFailed       atomic.Int64
 	popFetches, bytesUploaded       atomic.Int64
@@ -74,11 +81,23 @@ func NewWorker(opts WorkerOptions) *Worker {
 	if opts.Client == nil {
 		opts.Client = &http.Client{Timeout: 2 * time.Minute}
 	}
-	return &Worker{
+	w := &Worker{
 		opts:  opts,
 		pops:  map[string]*data.Population{},
 		plans: map[string]*core.BuildPlan{},
 	}
+	if reg := opts.Metrics; reg != nil {
+		w.trainSeconds = reg.Histogram("worker_shard_train_seconds",
+			"Wall-clock seconds training one leased shard.", nil)
+		reg.CounterFunc("worker_leases_total", "Successful shard leases.", w.leases.Load)
+		reg.CounterFunc("worker_lease_empty_total", "Polls that found no work.", w.leaseEmpty.Load)
+		reg.CounterFunc("worker_lease_errors_total", "Lease transport/protocol failures.", w.leaseErrors.Load)
+		reg.CounterFunc("worker_shards_built_total", "Shards trained and accepted.", w.shardsBuilt.Load)
+		reg.CounterFunc("worker_shards_failed_total", "Shards that failed locally or were rejected.", w.shardsFailed.Load)
+		reg.CounterFunc("worker_pop_fetches_total", "Populations downloaded.", w.popFetches.Load)
+		reg.CounterFunc("worker_bytes_uploaded_total", "Encoded shard bytes posted.", w.bytesUploaded.Load)
+	}
+	return w
 }
 
 // Name returns the worker's lease identity.
@@ -176,11 +195,23 @@ func (w *Worker) process(ctx context.Context, job Job) error {
 	if err != nil {
 		return err
 	}
+	start := time.Now()
 	sh, err := plan.TrainRange(job.Lo, job.Hi, w.opts.Workers)
 	if err != nil {
 		return err
 	}
-	return w.complete(job, sh)
+	dur := time.Since(start)
+	if w.trainSeconds != nil {
+		w.trainSeconds.Observe(dur.Seconds())
+	}
+	var spans []obs.Span
+	if job.TraceID != "" {
+		spans = []obs.Span{{
+			Name: "shard.train", Start: start, Dur: dur,
+			Attrs: []string{"worker", w.opts.Name, "range", shardRange(job.Lo, job.Hi)},
+		}}
+	}
+	return w.complete(job, sh, spans)
 }
 
 // cacheCap bounds the worker's population and plan caches. Entries are
@@ -265,15 +296,27 @@ func (w *Worker) population(ctx context.Context, key string) (*data.Population, 
 	return pop, nil
 }
 
-// complete uploads one finished shard.
-func (w *Worker) complete(job Job, sh *core.BankShard) error {
+// complete uploads one finished shard, carrying any trace spans in request
+// headers so they attach to the build's trace on the coordinator.
+func (w *Worker) complete(job Job, sh *core.BankShard, spans []obs.Span) error {
 	payload, err := EncodeShard(sh)
 	if err != nil {
 		return err
 	}
 	q := url.Values{"job": {job.ID}, "worker": {w.opts.Name}}
-	resp, err := w.opts.Client.Post(w.opts.Coordinator+"/v1/work/complete?"+q.Encode(),
-		"application/octet-stream", bytes.NewReader(payload))
+	req, err := http.NewRequest(http.MethodPost,
+		w.opts.Coordinator+"/v1/work/complete?"+q.Encode(), bytes.NewReader(payload))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	if job.TraceID != "" && len(spans) > 0 {
+		req.Header.Set(obs.TraceIDHeader, job.TraceID)
+		if enc, err := obs.MarshalSpans(spans); err == nil {
+			req.Header.Set(obs.TraceSpansHeader, enc)
+		}
+	}
+	resp, err := w.opts.Client.Do(req)
 	if err != nil {
 		return err
 	}

@@ -7,6 +7,7 @@
 package exper
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -292,9 +293,10 @@ func (s *Suite) bankFor(key string, build func() *core.Bank) *core.Bank {
 
 // buildCached routes one bank build through the suite's builder (local
 // store by default, the dist tier stack in cluster mode), counting only
-// actual training against BankBuilds.
-func (s *Suite) buildCached(label string, pop *data.Population, opts core.BuildOptions, seed uint64) *core.Bank {
-	b, hit, err := s.builder().BuildBank(pop, opts, seed)
+// actual training against BankBuilds. ctx carries the requesting run's
+// trace, if any, so builders can record lookup/build spans.
+func (s *Suite) buildCached(ctx context.Context, label string, pop *data.Population, opts core.BuildOptions, seed uint64) *core.Bank {
+	b, hit, err := s.builder().BuildBank(ctx, pop, opts, seed)
 	if err != nil {
 		panic(fmt.Sprintf("exper: bank %s: %v", label, err))
 	}
@@ -324,10 +326,19 @@ func (s *Suite) BankBuildInputs(name string) (data.Spec, core.BuildOptions, uint
 // Bank returns (building if needed) the dataset's config bank with
 // partitions p ∈ {0, 0.5, 1} and the shared pool.
 func (s *Suite) Bank(name string) *core.Bank {
+	return s.BankCtx(context.Background(), name)
+}
+
+// BankCtx is Bank with a caller context: the ctx's obs.Trace (when present)
+// receives the bank.lookup / bank.build spans of a cold build. Note the
+// once-guarded slot means only the first caller's ctx observes the build;
+// concurrent duplicates block and get no spans, which is the honest
+// timeline (they didn't do the work).
+func (s *Suite) BankCtx(ctx context.Context, name string) *core.Bank {
 	return s.bankFor(name, func() *core.Bank {
 		pop := s.Population(name)
 		_, opts, seed := s.BankBuildInputs(name)
-		return s.buildCached(name, pop, opts, seed)
+		return s.buildCached(ctx, name, pop, opts, seed)
 	})
 }
 
@@ -377,7 +388,7 @@ func (s *Suite) DecadeBank(name string, decades int) *core.Bank {
 		opts.MaxRounds = s.Cfg.MaxRounds
 		opts.Workers = s.Cfg.Workers
 		opts.Space = hpo.DefaultSpace().WithServerLRDecades(float64(decades))
-		return s.buildCached(key, pop, opts, s.Cfg.Seed+uint64(100+decades))
+		return s.buildCached(context.Background(), key, pop, opts, s.Cfg.Seed+uint64(100+decades))
 	})
 }
 

@@ -8,11 +8,14 @@
 package exper
 
 import (
+	"context"
 	"fmt"
+	"strconv"
 	"strings"
 
 	"noisyeval/internal/core"
 	"noisyeval/internal/hpo"
+	"noisyeval/internal/obs"
 	"noisyeval/internal/rng"
 	"noisyeval/internal/stats"
 )
@@ -153,6 +156,15 @@ func (s *Suite) validateTune(req TuneRequest) error {
 // repeated identical requests produce identical results, which is what makes
 // RunKey a sound dedup address.
 func (s *Suite) RunTune(req TuneRequest, onTrial func(TrialUpdate)) (result *TuneResult, err error) {
+	return s.RunTuneCtx(context.Background(), req, onTrial)
+}
+
+// RunTuneCtx is RunTune with a caller context. When ctx carries an
+// obs.Trace (serve.Manager admission attaches one), the run's timeline
+// gains bank.lookup / bank.build spans from the builder tiers and an
+// oracle.trials span around the bootstrap trial loop. Tracing never
+// perturbs results — spans only observe wall clock.
+func (s *Suite) RunTuneCtx(ctx context.Context, req TuneRequest, onTrial func(TrialUpdate)) (result *TuneResult, err error) {
 	bankKey, runKey, err := s.tuneKeys(req)
 	if err != nil {
 		return nil, err
@@ -165,7 +177,7 @@ func (s *Suite) RunTune(req TuneRequest, onTrial func(TrialUpdate)) (result *Tun
 		}
 	}()
 
-	bank := s.Bank(req.Dataset)
+	bank := s.BankCtx(ctx, req.Dataset)
 
 	oracle, err := core.NewBankOracle(bank, req.Noise.HeterogeneityP, req.Noise.Scheme(), req.Seed)
 	if err != nil {
@@ -187,7 +199,10 @@ func (s *Suite) RunTune(req TuneRequest, onTrial func(TrialUpdate)) (result *Tun
 	}
 	// The trial stream label predates this entry point (cmd/fedtune used
 	// "fedtune" directly); keeping it preserves byte-identical results.
+	sp := obs.TraceFrom(ctx).StartSpan("oracle.trials",
+		"dataset", req.Dataset, "method", req.Method.Name(), "trials", strconv.Itoa(req.Trials))
 	results := tn.RunTrialsProgress(oracle, req.Trials, rng.New(req.Seed).Split("fedtune"), progress)
+	sp.End()
 
 	finals := core.FinalErrors(results)
 	out := &TuneResult{

@@ -1,0 +1,193 @@
+package obs
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestWritePrometheusGolden pins the exact text exposition: metric names,
+// HELP/TYPE lines, ordering, histogram bucket rendering.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("runs_admitted_total", "Runs accepted past admission control.")
+	c.Add(3)
+	g := r.Gauge("runs_active", "Runs currently executing.")
+	g.Set(2)
+	r.GaugeFunc("queue_depth", "Queued runs.", func() int64 { return 7 })
+	h := r.Histogram("op_seconds", "Operation latency.", []float64{0.01, 0.1, 1})
+	h.Observe(0.005) // le=0.01
+	h.Observe(0.05)  // le=0.1
+	h.Observe(0.05)  // le=0.1
+	h.Observe(5)     // +Inf
+
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+
+	want := strings.Join([]string{
+		"# HELP runs_admitted_total Runs accepted past admission control.",
+		"# TYPE runs_admitted_total counter",
+		"runs_admitted_total 3",
+		"# HELP runs_active Runs currently executing.",
+		"# TYPE runs_active gauge",
+		"runs_active 2",
+		"# HELP queue_depth Queued runs.",
+		"# TYPE queue_depth gauge",
+		"queue_depth 7",
+		"# HELP op_seconds Operation latency.",
+		"# TYPE op_seconds histogram",
+		`op_seconds_bucket{le="0.01"} 1`,
+		`op_seconds_bucket{le="0.1"} 3`,
+		`op_seconds_bucket{le="1"} 3`,
+		`op_seconds_bucket{le="+Inf"} 4`,
+		"op_seconds_sum 5.105",
+		"op_seconds_count 4",
+	}, "\n") + "\n"
+	if got := buf.String(); got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestHistogramBucketMonotonicity checks cumulative buckets never decrease
+// and the +Inf bucket equals the count, across a spread of observations.
+func TestHistogramBucketMonotonicity(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "", nil) // DefBuckets
+	vals := []float64{1e-7, 3e-5, 0.0007, 0.004, 0.09, 0.9, 3, 42}
+	for _, v := range vals {
+		h.Observe(v)
+	}
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+
+	var prev, inf int64 = -1, -1
+	count := int64(-1)
+	for _, line := range strings.Split(buf.String(), "\n") {
+		switch {
+		case strings.HasPrefix(line, "lat_seconds_bucket"):
+			f := strings.Fields(line)
+			n, err := strconv.ParseInt(f[len(f)-1], 10, 64)
+			if err != nil {
+				t.Fatalf("bad bucket line %q: %v", line, err)
+			}
+			if n < prev {
+				t.Fatalf("bucket count decreased: %q after %d", line, prev)
+			}
+			prev = n
+			if strings.Contains(line, `le="+Inf"`) {
+				inf = n
+			}
+		case strings.HasPrefix(line, "lat_seconds_count"):
+			f := strings.Fields(line)
+			count, _ = strconv.ParseInt(f[len(f)-1], 10, 64)
+		}
+	}
+	if inf != int64(len(vals)) || count != int64(len(vals)) {
+		t.Fatalf("+Inf bucket %d / count %d, want both %d", inf, count, len(vals))
+	}
+	if h.Sum() < 45.9 || h.Sum() > 46.1 {
+		t.Fatalf("sum = %v, want ~45.99", h.Sum())
+	}
+}
+
+// TestRegistryIdempotentAndAttach: same-name registration returns the same
+// instrument; Attach folds another registry into exposition exactly once.
+func TestRegistryIdempotentAndAttach(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "x")
+	b := r.Counter("x_total", "different help ignored")
+	if a != b {
+		t.Fatal("same-name Counter returned distinct instruments")
+	}
+	a.Inc()
+	if b.Value() != 1 {
+		t.Fatal("instruments not shared")
+	}
+
+	other := NewRegistry()
+	other.Counter("y_total", "y").Add(5)
+	r.Attach(other)
+	r.Attach(other) // idempotent
+	r.Attach(r)     // self-attach ignored
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	if got := strings.Count(buf.String(), "y_total 5"); got != 1 {
+		t.Fatalf("attached metric rendered %d times, want 1:\n%s", got, buf.String())
+	}
+}
+
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Gauge over existing Counter name should panic")
+		}
+	}()
+	r.Gauge("m", "")
+}
+
+// TestMetricsConcurrent hammers counters and histograms from 64 goroutines;
+// run under -race this is the data-race gate, and the totals check catches
+// lost updates.
+func TestMetricsConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hits_total", "")
+	g := r.Gauge("level", "")
+	h := r.Histogram("lat_seconds", "", nil)
+
+	const goroutines = 64
+	const perG = 500
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			for j := 0; j < perG; j++ {
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+				h.Observe(float64(j%100) * 1e-4)
+				if j%50 == 0 {
+					var buf bytes.Buffer
+					r.WritePrometheus(&buf) // concurrent scrape
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	if c.Value() != goroutines*perG {
+		t.Fatalf("counter = %d, want %d", c.Value(), goroutines*perG)
+	}
+	if g.Value() != 0 {
+		t.Fatalf("gauge = %d, want 0", g.Value())
+	}
+	if h.Count() != goroutines*perG {
+		t.Fatalf("histogram count = %d, want %d", h.Count(), goroutines*perG)
+	}
+	// Sum of j%100 * 1e-4 over perG iterations, per goroutine.
+	var per float64
+	for j := 0; j < perG; j++ {
+		per += float64(j%100) * 1e-4
+	}
+	want := per * goroutines
+	if diff := h.Sum() - want; diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("histogram sum = %v, want %v (lost CAS updates?)", h.Sum(), want)
+	}
+}
+
+func TestHistogramObserveAllocs(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "", nil)
+	c := r.Counter("n_total", "")
+	allocs := testing.AllocsPerRun(1000, func() {
+		h.Observe(0.0123)
+		c.Inc()
+	})
+	if allocs != 0 {
+		t.Fatalf("Observe+Inc allocates %v/op, want 0", allocs)
+	}
+}

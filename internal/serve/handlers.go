@@ -35,6 +35,10 @@ import (
 //	POST   /v1/banks/{key}/grow    extend a served bank with freshly trained
 //	                               configs; the content address advances and
 //	                               the old key stays valid as a store alias
+//	GET    /v1/runs/{id}/trace     per-run span timeline (trace ID, queue wait,
+//	                               bank tiers, worker shards, trials, encode)
+//	GET    /metrics                Prometheus text exposition (counters, gauges,
+//	                               latency histograms; expvar names kept as views)
 //	GET    /healthz                liveness + queue depth + bank-store state
 //	GET    /debug/vars             expvar counters (runs, sessions, bank cache, HTTP)
 //
@@ -66,6 +70,7 @@ func NewServer(m *Manager) *Server {
 	s.mux.HandleFunc("GET /v1/runs", s.handleList)
 	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleRun)
 	s.mux.HandleFunc("GET /v1/runs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /v1/runs/{id}/trace", s.handleRunTrace)
 	s.mux.HandleFunc("GET /v1/methods", s.handleMethods)
 	s.mux.HandleFunc("POST /v1/sessions", s.handleSessionOpen)
 	s.mux.HandleFunc("GET /v1/sessions", s.handleSessionList)
@@ -75,9 +80,82 @@ func NewServer(m *Manager) *Server {
 	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleSessionClose)
 	s.mux.HandleFunc("GET /v1/banks", s.handleBanks)
 	s.mux.HandleFunc("POST /v1/banks/{key}/grow", s.handleBankGrow)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /debug/vars", s.handleVars)
+	s.registerMetricViews()
 	return s
+}
+
+// registerMetricViews folds the pre-obs operational counters into the
+// manager's metrics registry as read-only views: the atomics stay the single
+// source of truth (expvar at /debug/vars reads the same ones), and /metrics
+// renders them in Prometheus form with conventional _total suffixes.
+// Registration is idempotent by name, so a second server over one manager is
+// harmless.
+func (s *Server) registerMetricViews() {
+	reg := s.mgr.Metrics()
+	m := s.mgr
+	reg.CounterFunc("runs_started_total", "Runs whose execution started.", func() int64 { return m.started.Load() })
+	reg.CounterFunc("runs_completed_total", "Runs finished in state done.", func() int64 { return m.completed.Load() })
+	reg.CounterFunc("runs_failed_total", "Runs finished in state failed.", func() int64 { return m.failed.Load() })
+	reg.CounterFunc("runs_cancelled_total", "Runs cancelled at shutdown.", func() int64 { return m.cancelled.Load() })
+	reg.CounterFunc("runs_deduped_total", "Submissions absorbed by an identical run.", func() int64 { return m.deduped.Load() })
+	reg.CounterFunc("runs_recovered_total", "Non-terminal runs re-admitted from the journal.", func() int64 { return m.recovered.Load() })
+	reg.CounterFunc("runs_parked_total", "Queued runs parked at shutdown.", func() int64 { return m.parked.Load() })
+	reg.CounterFunc("runs_shed_cold_total", "Cold-bank submissions shed under pressure.", func() int64 { return m.shed.Load() })
+	reg.GaugeFunc("runs_active", "Runs currently executing.", func() int64 { return m.active.Load() })
+	reg.GaugeFunc("runs_queued", "Runs waiting for a worker.", func() int64 { return m.queued.Load() })
+	reg.GaugeFunc("runs_retained", "Terminal runs retained for dedup and fetch.", func() int64 { return int64(m.reg.Len()) })
+	reg.GaugeFunc("sessions_open", "Ask/tell sessions currently open.", func() int64 { return int64(m.sessions.Len()) })
+	reg.CounterFunc("sessions_opened_total", "Ask/tell sessions ever opened.", m.sessions.Opened)
+	reg.CounterFunc("sessions_reaped_total", "Idle ask/tell sessions reaped.", m.sessions.Reaped)
+	reg.CounterFunc("bank_cache_hits_total", "Bank store lookups served from disk.", func() int64 { return m.Store().Stats().Hits })
+	reg.CounterFunc("bank_cache_misses_total", "Bank store lookups that missed.", func() int64 { return m.Store().Stats().Misses })
+	reg.CounterFunc("bank_cache_builds_total", "Banks built and written through the store.", func() int64 { return m.Store().Stats().Builds })
+	reg.CounterFunc("bank_cache_evicted_total", "Bank store entries evicted.", func() int64 { return m.Store().Stats().Evicted })
+	reg.CounterFunc("bank_cache_stale_format_total", "Evictions caused by a stale on-disk format.", func() int64 { return m.Store().Stats().StaleFormat })
+	reg.CounterFunc("bank_cache_corrupt_segment_total", "Evictions caused by located corruption.", func() int64 { return m.Store().Stats().CorruptSegment })
+	reg.CounterFunc("bank_builds_trained_total", "Banks the suites actually trained.", m.BankBuilds)
+	reg.GaugeFunc("bank_mapped_files", "Bank entries currently served via mmap.", func() int64 { return m.Store().Mapped().Files })
+	reg.GaugeFunc("bank_mapped_bytes", "Total mmap-resident bank bytes.", func() int64 { return m.Store().Mapped().Bytes })
+	reg.CounterFunc("bank_grow_total", "Successful bank grow operations.", func() int64 { return m.grows.Load() })
+	if jr := m.Journal(); jr != nil {
+		reg.GaugeFunc("journal_enabled", "1 when the run journal is active.", func() int64 { return 1 })
+		reg.CounterFunc("journal_appends_total", "Journal records appended.", func() int64 { return jr.Stats().Appends })
+		reg.CounterFunc("journal_compactions_total", "Journal compactions performed.", func() int64 { return jr.Stats().Compactions })
+		reg.CounterFunc("journal_replayed_total", "Journal records replayed at boot.", func() int64 { return jr.Stats().Replayed })
+		reg.CounterFunc("journal_torn_tail_total", "Torn WAL tails tolerated at boot.", func() int64 { return jr.Stats().TornTails })
+		reg.CounterFunc("journal_dropped_records_total", "Journal records dropped over budget.", jr.Dropped)
+		reg.GaugeFunc("journal_bytes", "Snapshot plus WAL bytes on disk.", func() int64 { st := jr.Stats(); return st.SnapshotBytes + st.WALBytes })
+		reg.GaugeFunc("journal_snapshot_bytes", "Snapshot bytes on disk.", func() int64 { return jr.Stats().SnapshotBytes })
+	} else {
+		reg.GaugeFunc("journal_enabled", "1 when the run journal is active.", func() int64 { return 0 })
+	}
+	reg.GaugeFunc("http_requests_in_flight", "API requests currently being served.", s.inFl.Load)
+	reg.CounterFunc("http_requests_total", "API requests served.", s.total.Load)
+}
+
+// handleMetrics implements GET /metrics: the manager registry (admission
+// counter, latency histograms, counter views, attached core oracle series)
+// in Prometheus text exposition format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.mgr.Metrics().WritePrometheus(w)
+}
+
+// handleRunTrace implements GET /v1/runs/{id}/trace: the run's span
+// timeline. A live run answers with the spans recorded so far; a recovered
+// run (whose trace died with the previous process) answers an empty
+// timeline rather than 404 — the run exists, its observability doesn't.
+func (s *Server) handleRunTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := s.mgr.Registry().Get(id); !ok {
+		writeError(w, http.StatusNotFound, CodeNotFound, "no run %q (expired or never submitted)", id)
+		return
+	}
+	tr, _ := s.mgr.TraceFor(id) // nil Trace snapshots to an empty timeline
+	writeJSON(w, http.StatusOK, tr.Snapshot())
 }
 
 // Mux exposes the server's route table so extra endpoint families (the

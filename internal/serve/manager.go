@@ -10,6 +10,7 @@ import (
 
 	"noisyeval/internal/core"
 	"noisyeval/internal/exper"
+	"noisyeval/internal/obs"
 	"noisyeval/internal/serve/journal"
 )
 
@@ -83,6 +84,12 @@ type Options struct {
 	// at kill time. Zero (the default) adds nothing.
 	ExecDelay time.Duration
 
+	// Log receives run-lifecycle events as structured lines (nil = silent).
+	Log *obs.Logger
+	// TraceCap bounds how many finished-run traces the manager retains for
+	// GET /v1/runs/{id}/trace (0 = 1024).
+	TraceCap int
+
 	// execGate, when set, is called by a worker immediately before a run
 	// executes. Test hook: lets shutdown tests hold a run in-flight
 	// deterministically.
@@ -121,6 +128,21 @@ type Manager struct {
 	opts     Options
 	reg      *Registry
 	sessions *SessionRegistry
+	log      *obs.Logger
+
+	// metrics is this manager's registry (per-manager, not process-global:
+	// tests run several managers per process). NewServer's /metrics endpoint
+	// serves it; the core package registry is attached so oracle trial
+	// series appear alongside the serving ones.
+	metrics      *obs.Registry
+	admitted     *obs.Counter
+	queueWaitSec *obs.Histogram
+	execSec      *obs.Histogram
+	journalSec   *obs.Histogram
+
+	// traces retains run timelines for GET /v1/runs/{id}/trace, keyed by
+	// run ID, bounded FIFO.
+	traces *obs.TraceStore
 
 	queue chan *Run
 	wg    sync.WaitGroup // worker goroutines
@@ -160,9 +182,23 @@ func NewManager(opts Options) *Manager {
 		opts:        opts,
 		reg:         NewRegistry(opts.TTL),
 		sessions:    NewSessionRegistry(opts.SessionIdleTTL, opts.MaxSessions),
+		log:         opts.Log.Named("serve"),
+		metrics:     obs.NewRegistry(),
+		traces:      obs.NewTraceStore(opts.TraceCap),
 		suites:      map[string]*exper.Suite{},
 		janitorStop: make(chan struct{}),
 	}
+	m.admitted = m.metrics.Counter("runs_admitted_total",
+		"Runs accepted past admission control (dedups, sheds, and rejections excluded).")
+	m.queueWaitSec = m.metrics.Histogram("run_queue_wait_seconds",
+		"Seconds a run waited between admission and execution start.", nil)
+	m.execSec = m.metrics.Histogram("run_exec_seconds",
+		"Seconds executing one run (bank acquisition + trial loop + encode).", nil)
+	m.journalSec = m.metrics.Histogram("journal_append_seconds",
+		"Seconds appending one durable submit record.", nil)
+	// Fold in the core package's oracle trial instruments so one scrape of
+	// this manager's server answers both serving and hot-path questions.
+	m.metrics.Attach(core.Metrics())
 	// Replay the journal before anything executes: terminal runs come back
 	// with their cached response bytes, non-terminal ones re-enter the queue.
 	// The queue is sized to hold every recovered run on top of QueueDepth, so
@@ -332,12 +368,22 @@ func (m *Manager) Submit(req RunRequest) (run *Run, created bool, err error) {
 		m.deduped.Add(1)
 		return run, false, nil
 	}
+	// Admission is where a run's trace is born: every later span (queue
+	// wait, bank tiers, trials, encode) lands on this timeline, retained
+	// under the run ID for GET /v1/runs/{id}/trace.
+	run.trace = obs.NewTrace(obs.NewTraceID())
+	m.traces.Put(run.ID, run.trace)
 	// Durability point: the submit record is on disk before the run is
 	// queued or acknowledged — once a client holds a 202, a crash cannot
 	// lose the run. Capacity was checked above under m.mu (which serializes
 	// every enqueuer), so this send cannot block.
 	if jr := m.opts.Journal; jr != nil {
-		if err := jr.recordSubmit(m.reg, run); err != nil {
+		jstart := time.Now()
+		err := jr.recordSubmit(m.reg, run)
+		jdur := time.Since(jstart)
+		m.journalSec.Observe(jdur.Seconds())
+		run.trace.AddSpan("journal.append", jstart, jdur)
+		if err != nil {
 			m.reg.Remove(run)
 			if errors.Is(err, journal.ErrBudget) {
 				return nil, false, ErrJournalFull
@@ -347,8 +393,18 @@ func (m *Manager) Submit(req RunRequest) (run *Run, created bool, err error) {
 	}
 	m.queue <- run
 	m.queued.Add(1)
+	m.admitted.Inc()
+	m.log.Debug("run admitted", "run", run.ID, "trace", run.trace.ID(),
+		"dataset", req.Dataset, "method", req.Method, "scale", req.Scale)
 	return run, true, nil
 }
+
+// Metrics returns the manager's metrics registry (the /metrics endpoint
+// source, core package series attached).
+func (m *Manager) Metrics() *obs.Registry { return m.metrics }
+
+// TraceFor returns the retained trace for a run ID, if any.
+func (m *Manager) TraceFor(runID string) (*obs.Trace, bool) { return m.traces.Get(runID) }
 
 // coldBank reports whether executing a run against dataset would require
 // training a bank: not yet resolved in the suite and not present in the
@@ -401,6 +457,12 @@ func (m *Manager) execute(run *Run) {
 	m.active.Add(1)
 	defer m.active.Add(-1)
 	now := time.Now()
+	// Queue wait spans admission to execution start. Recovered runs keep
+	// their original created time, so after a crash this honestly includes
+	// the outage (their trace, though, died with the old process).
+	wait := now.Sub(run.created)
+	m.queueWaitSec.Observe(wait.Seconds())
+	run.trace.AddSpan("queue.wait", run.created, wait)
 	run.start(now)
 	// Best-effort: losing a start record only costs the recovered run its
 	// "running" label — it is re-admitted as queued either way.
@@ -414,21 +476,37 @@ func (m *Manager) execute(run *Run) {
 
 	suite, err := m.suiteFor(run.Req.Scale)
 	if err != nil {
-		m.failed.Add(1)
-		run.finish(StateFailed, nil, err.Error(), time.Now())
-		m.journalTerminal(run)
+		m.finishRun(run, StateFailed, nil, err.Error(), now)
 		return
 	}
-	res, err := suite.RunTune(run.treq, run.trial)
+	ctx := obs.WithTrace(context.Background(), run.trace)
+	res, err := suite.RunTuneCtx(ctx, run.treq, run.trial)
 	if err != nil {
-		m.failed.Add(1)
-		run.finish(StateFailed, nil, err.Error(), time.Now())
-		m.journalTerminal(run)
+		m.finishRun(run, StateFailed, nil, err.Error(), now)
 		return
 	}
-	m.completed.Add(1)
-	run.finish(StateDone, res, "", time.Now())
+	m.finishRun(run, StateDone, res, "", now)
+}
+
+// finishRun drives a run to its terminal state, recording the response.encode
+// span (finish marshals the terminal body exactly once), the execution
+// histogram, and the terminal journal record.
+func (m *Manager) finishRun(run *Run, state State, res *exper.TuneResult, errMsg string, started time.Time) {
+	if state == StateDone {
+		m.completed.Add(1)
+	} else {
+		m.failed.Add(1)
+	}
+	encStart := time.Now()
+	run.finish(state, res, errMsg, encStart)
+	run.trace.AddSpan("response.encode", encStart, time.Since(encStart))
+	m.execSec.Observe(time.Since(started).Seconds())
 	m.journalTerminal(run)
+	if state == StateFailed {
+		m.log.Warn("run failed", "run", run.ID, "err", errMsg)
+	} else {
+		m.log.Debug("run done", "run", run.ID, "wall", time.Since(started))
+	}
 }
 
 // journalTerminal records a terminal transition and opportunistically

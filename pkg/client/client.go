@@ -275,6 +275,32 @@ type GrowBankResult struct {
 	Total   int    `json:"total"`
 }
 
+// TraceSpan mirrors one span of GET /v1/runs/{id}/trace (obs.SpanView).
+type TraceSpan struct {
+	Name       string            `json:"name"`
+	Start      string            `json:"start"`
+	DurationMS float64           `json:"duration_ms"`
+	Attrs      map[string]string `json:"attrs,omitempty"`
+}
+
+// RunTrace mirrors GET /v1/runs/{id}/trace (obs.TraceView): the run's span
+// timeline under its trace ID. A journal-recovered run answers with an empty
+// timeline — the run survived the crash, its spans did not.
+type RunTrace struct {
+	TraceID string      `json:"trace_id"`
+	Spans   []TraceSpan `json:"spans"`
+}
+
+// Span returns the first span with the given name (nil when absent).
+func (t RunTrace) Span(name string) *TraceSpan {
+	for i := range t.Spans {
+		if t.Spans[i].Name == name {
+			return &t.Spans[i]
+		}
+	}
+	return nil
+}
+
 // APIError is a non-2xx response: the HTTP status plus the server's coded
 // envelope. Branch on Code ("unknown_method", "budget_exhausted", ...).
 type APIError struct {
@@ -496,6 +522,53 @@ func (c *Client) WaitRun(ctx context.Context, id string) (RunStatus, error) {
 		return RunStatus{}, err
 	}
 	return c.GetRun(ctx, id)
+}
+
+// Trace fetches a run's span timeline (GET /v1/runs/{id}/trace).
+func (c *Client) Trace(ctx context.Context, id string) (RunTrace, error) {
+	var tr RunTrace
+	err := c.do(ctx, http.MethodGet, "/v1/runs/"+url.PathEscape(id)+"/trace", nil, &tr)
+	return tr, err
+}
+
+// Metrics fetches the daemon's Prometheus text exposition (GET /metrics),
+// verbatim. Callers that only need one series can string-search it; anything
+// richer should scrape with a real Prometheus client.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	pol := c.retry()
+	for attempt := 0; ; attempt++ {
+		body, err := c.metricsOnce(ctx)
+		if err == nil {
+			return body, nil
+		}
+		delay, retry := pol.shouldRetry(ctx, err, attempt, true)
+		if !retry {
+			return "", err
+		}
+		if serr := sleepCtx(ctx, delay); serr != nil {
+			return "", err
+		}
+	}
+}
+
+func (c *Client) metricsOnce(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", apiErrorFrom(resp, raw)
+	}
+	return string(raw), nil
 }
 
 // Methods fetches the tuning-method catalogue.

@@ -1,0 +1,92 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"testing"
+)
+
+func TestTraceRetriesThenDecodes(t *testing.T) {
+	ts, calls := flakyServer(t, 2, reject503("queue_full", 0), func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/runs/run-000001/trace" {
+			t.Errorf("path = %q", r.URL.Path)
+		}
+		fmt.Fprint(w, `{"trace_id":"abc123","spans":[
+			{"name":"queue.wait","start":"2026-08-07T12:00:00Z","duration_ms":1.5},
+			{"name":"shard.train","start":"2026-08-07T12:00:01Z","duration_ms":20,"attrs":{"worker":"w1","range":"0-2"}}]}`)
+	})
+	c := New(ts.URL)
+	c.Retry = fastRetry(4)
+	tr, err := c.Trace(context.Background(), "run-000001")
+	if err != nil {
+		t.Fatalf("Trace after flaky 503s: %v", err)
+	}
+	if tr.TraceID != "abc123" || len(tr.Spans) != 2 {
+		t.Fatalf("trace = %+v", tr)
+	}
+	if sp := tr.Span("shard.train"); sp == nil || sp.Attrs["worker"] != "w1" {
+		t.Errorf("Span(shard.train) = %+v", sp)
+	}
+	if tr.Span("missing") != nil {
+		t.Error("Span(missing) != nil")
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("server saw %d requests, want 3 (two 503s + success)", got)
+	}
+}
+
+func TestTrace404IsTerminal(t *testing.T) {
+	ts, calls := flakyServer(t, 1000, func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusNotFound)
+		fmt.Fprint(w, `{"error":{"code":"not_found","message":"no run"}}`)
+	}, healthOK)
+	c := New(ts.URL)
+	c.Retry = fastRetry(5)
+	_, err := c.Trace(context.Background(), "run-999999")
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Code != "not_found" {
+		t.Fatalf("err = %v, want not_found APIError", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("server saw %d requests, want 1 (404 is not retryable)", got)
+	}
+}
+
+func TestMetricsRetriesAndReturnsRawText(t *testing.T) {
+	const exposition = "# HELP runs_admitted_total Runs accepted.\n# TYPE runs_admitted_total counter\nruns_admitted_total 7\n"
+	ts, calls := flakyServer(t, 2, reject503("shutting_down", 0), func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/metrics" {
+			t.Errorf("path = %q", r.URL.Path)
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		fmt.Fprint(w, exposition)
+	})
+	c := New(ts.URL)
+	c.Retry = fastRetry(4)
+	body, err := c.Metrics(context.Background())
+	if err != nil {
+		t.Fatalf("Metrics after flaky 503s: %v", err)
+	}
+	if body != exposition {
+		t.Errorf("Metrics body = %q, want verbatim exposition", body)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("server saw %d requests, want 3", got)
+	}
+}
+
+func TestMetricsRetryBudgetCapped(t *testing.T) {
+	ts, calls := flakyServer(t, 1000, reject503("queue_full", 0), healthOK)
+	c := New(ts.URL)
+	c.Retry = fastRetry(3)
+	_, err := c.Metrics(context.Background())
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Status != http.StatusServiceUnavailable {
+		t.Fatalf("err = %v, want terminal 503 APIError", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("server saw %d requests, want exactly MaxAttempts=3", got)
+	}
+}

@@ -5,6 +5,10 @@
 // wire must land on exactly the recommendation the server-driven run
 // computes for the same inputs.
 //
+// It also exercises the observability surface: the run's span timeline at
+// /v1/runs/{id}/trace must hold the expected phases, and a /metrics scrape
+// after the e2e traffic must show non-zero admission and oracle-trial series.
+//
 // Usage: servesmoke -base http://127.0.0.1:8723
 //
 // Exits 0 on success; prints the first failure and exits 1 otherwise.
@@ -18,6 +22,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"noisyeval/pkg/client"
@@ -98,6 +104,21 @@ func run(ctx context.Context, c *client.Client) error {
 	}
 	log.Print("run + dedup ok")
 
+	// The finished run's trace must carry its pipeline phases under a trace ID.
+	trace, err := c.Trace(ctx, st.ID)
+	if err != nil {
+		return fmt.Errorf("trace %s: %w", st.ID, err)
+	}
+	if trace.TraceID == "" {
+		return fmt.Errorf("run %s has no trace ID", st.ID)
+	}
+	for _, phase := range []string{"queue.wait", "oracle.trials", "response.encode"} {
+		if trace.Span(phase) == nil {
+			return fmt.Errorf("trace of %s missing %q span (got %d spans)", st.ID, phase, len(trace.Spans))
+		}
+	}
+	log.Printf("trace ok (%s, %d spans)", trace.TraceID, len(trace.Spans))
+
 	// Coded errors reach the client intact.
 	if _, err := c.SubmitRun(ctx, client.RunRequest{Dataset: "cifar10", Method: "sgd"}); err == nil {
 		return errors.New("unknown method was accepted")
@@ -157,5 +178,37 @@ func run(ctx context.Context, c *client.Client) error {
 		return fmt.Errorf("close session: %w", err)
 	}
 	log.Print("external session ok")
+
+	// Post-e2e /metrics scrape: the traffic above must have moved both the
+	// serving-plane admission counter and the hot-path oracle histogram.
+	metrics, err := c.Metrics(ctx)
+	if err != nil {
+		return fmt.Errorf("metrics: %w", err)
+	}
+	for _, series := range []string{"runs_admitted_total", "oracle_trial_seconds_bucket"} {
+		if !seriesNonZero(metrics, series) {
+			return fmt.Errorf("/metrics has no non-zero %s sample after e2e traffic", series)
+		}
+	}
+	log.Print("metrics ok")
 	return nil
+}
+
+// seriesNonZero reports whether any sample line of the named series carries a
+// value greater than zero. Histogram series match by prefix, so labeled
+// bucket lines ({le="..."}) count.
+func seriesNonZero(exposition, series string) bool {
+	for _, line := range strings.Split(exposition, "\n") {
+		if !strings.HasPrefix(line, series) || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			continue
+		}
+		if v, err := strconv.ParseFloat(fields[len(fields)-1], 64); err == nil && v > 0 {
+			return true
+		}
+	}
+	return false
 }
