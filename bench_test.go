@@ -26,6 +26,7 @@ import (
 
 	"noisyeval"
 	"noisyeval/internal/core"
+	"noisyeval/internal/eval"
 	"noisyeval/internal/exper"
 	"noisyeval/internal/hpo"
 	"noisyeval/internal/obs"
@@ -430,6 +431,63 @@ func BenchmarkOracleTrials(b *testing.B) {
 	b.ReportMetric(float64(100*b.N)/b.Elapsed().Seconds(), "trials/s")
 }
 
+// BenchmarkOracleTrialsSequential is BenchmarkOracleTrials with the blocked
+// scheduler disabled (the -blocked-trials=false escape hatch): the legacy
+// goroutine-per-trial path, kept measurable so the README's before/after
+// table and the blocked/sequential speedup regenerate from one machine.
+// Not CI-gated.
+func BenchmarkOracleTrialsSequential(b *testing.B) {
+	oracle, err := core.NewBankOracle(codecBenchBank, 0, noisyeval.SchemeWithCount(10), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tn := core.Tuner{
+		Method:           hpo.RandomSearch{},
+		Space:            hpo.DefaultSpace(),
+		Settings:         hpo.Settings{Budget: hpo.Budget{TotalRounds: 8 * 405, MaxPerConfig: 405, K: 8}}.Normalize(),
+		SequentialTrials: true,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results := tn.RunTrials(oracle, 100, rng.New(uint64(i)).Split("bench-trials"))
+		if len(results) != 100 {
+			b.Fatal("short trial batch")
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(100*b.N)/b.Elapsed().Seconds(), "trials/s")
+}
+
+// BenchmarkOracleEvaluateMulti measures the row-sweep kernel the block
+// scheduler bottoms out in: one arena row evaluated for a 64-cohort wave
+// with warm scratch. The benchdiff gate pins allocs/op at 0 — the steady
+// state must stay allocation-free no matter how many cohorts share the row.
+func BenchmarkOracleEvaluateMulti(b *testing.B) {
+	oracle, err := core.NewBankOracle(codecBenchBank, 0, noisyeval.SchemeWithCount(10), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const cohorts = 64
+	seeds := make([]uint64, cohorts)
+	for i := range seeds {
+		seeds[i] = uint64(i)*0x9e3779b97f4a7c15 + 1
+	}
+	var ms eval.MultiScratch
+	oracle.EvaluateRows(0, 0, seeds, &ms) // warm the scratch before timing
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		rs := oracle.EvaluateRows(i%4, i%5, seeds, &ms)
+		sink += rs[0].Observed
+	}
+	b.StopTimer()
+	if sink == 0 {
+		b.Fatal("evaluations produced no signal")
+	}
+	b.ReportMetric(float64(cohorts*b.N)/b.Elapsed().Seconds(), "evals/s")
+}
+
 // BenchmarkObsOverhead measures the fully instrumented oracle evaluation
 // step: one warm BankOracle.Evaluate plus exactly the obs work the trial
 // loop adds per evaluation — one histogram Observe and one counter Inc.
@@ -489,13 +547,14 @@ func BenchmarkBankOpenMmap(b *testing.B) {
 // segment-backed bank served zero-copy from an mmap'd bankfmt/v4 file: the
 // oracle reads rows straight out of the page cache. Same workload as the
 // heap benchmark so the numbers compare directly; the read path itself adds
-// no allocations over heap.
+// no allocations over heap. The warm open (madvise + page pre-touch, the
+// -mmap-warm path) keeps first-touch page faults out of the timed region.
 func BenchmarkOracleTrialsMapped(b *testing.B) {
 	path := b.TempDir() + "/bench.bank"
 	if err := core.SaveBankV4(codecBenchBank, path); err != nil {
 		b.Fatal(err)
 	}
-	bank, closer, err := core.OpenBankMapped(path)
+	bank, closer, err := core.OpenBankMappedWarm(path)
 	if err != nil {
 		b.Fatal(err)
 	}

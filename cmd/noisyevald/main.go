@@ -73,6 +73,8 @@ func main() {
 		shedThreshold = flag.Float64("shed-threshold", 0, "shed cold-bank submissions once the queue holds this fraction of -queue (e.g. 0.5; <= 0 disables shedding)")
 		execDelay     = flag.Duration("exec-delay", 0, "fault injection: pad every run's execution by this duration so crash/load harnesses can catch runs in flight (0 = off)")
 		mmapBanks     = flag.Bool("mmap-banks", false, "serve cached banks zero-copy from mmap'd bankfmt/v4 files instead of decoding to heap (requires -cache-dir)")
+		mmapWarm      = flag.Bool("mmap-warm", false, "pre-touch each mapped bank at open (madvise + page walk) so first-sweep reads pay no major faults (requires -mmap-banks)")
+		blockedTrials = flag.Bool("blocked-trials", true, "run bootstrap trials through the blocked row-sweep scheduler; false falls back to the legacy goroutine-per-trial path (results are bit-identical)")
 		logLevel      = flag.String("log-level", "info", "structured log level: debug|info|warn|error")
 		pprofAddr     = flag.String("pprof-addr", "", "listen address for net/http/pprof profiling endpoints (empty = disabled)")
 	)
@@ -102,11 +104,17 @@ func main() {
 		core.BoundCache(store, *cacheMaxBytes, obs.LogfSink(logger.Named("bankstore")))
 		if *mmapBanks {
 			store.SetMapped(true)
-			log.Printf("bank cache mmap mode: v4 banks served zero-copy, writes use bankfmt/v4")
+			store.SetMappedWarm(*mmapWarm)
+			log.Printf("bank cache mmap mode: v4 banks served zero-copy, writes use bankfmt/v4 (warm=%v)", *mmapWarm)
+		} else if *mmapWarm {
+			log.Fatal("-mmap-warm requires -mmap-banks")
 		}
 	} else {
 		if *mmapBanks {
 			log.Fatal("-mmap-banks requires -cache-dir")
+		}
+		if *mmapWarm {
+			log.Fatal("-mmap-warm requires -mmap-banks")
 		}
 		log.Printf("no -cache-dir: banks rebuilt per daemon lifetime (in-memory suite cache only)")
 	}
@@ -169,6 +177,7 @@ func main() {
 		MaxSessions:      *maxSessions,
 		Journal:          journal,
 		ShedColdFraction: *shedThreshold,
+		SequentialTrials: !*blockedTrials,
 		ExecDelay:        *execDelay,
 		Log:              logger,
 	})

@@ -150,6 +150,8 @@ type BankStore struct {
 
 	// mapMode switches Get/Put onto the bankfmt/v4 mmap path (SetMapped).
 	mapMode atomic.Bool
+	// mapWarm pre-touches each mapping at open (SetMappedWarm, -mmap-warm).
+	mapWarm atomic.Bool
 	// mapMu guards the mapped-entry table and the retired mappings.
 	mapMu  sync.Mutex
 	mapped map[string]*mappedBank
@@ -280,6 +282,16 @@ func (s *BankStore) SetMapped(on bool) {
 	s.mapMode.Store(on)
 }
 
+// SetMappedWarm makes mapped opens pre-touch the whole mapping
+// (OpenBankMappedWarm) so a bank's first row sweep pays no major faults.
+// Only meaningful in mapped mode.
+func (s *BankStore) SetMappedWarm(on bool) {
+	if s == nil {
+		return
+	}
+	s.mapWarm.Store(on)
+}
+
 // MappedStats reports the live mmap-served entries (heap-fallback entries
 // are excluded from both counters).
 type MappedStats struct {
@@ -323,7 +335,11 @@ func (s *BankStore) getMapped(key string) (*Bank, error) {
 		s.misses.Add(1)
 		return nil, nil
 	}
-	b, closer, err := OpenBankMapped(path)
+	open := OpenBankMapped
+	if s.mapWarm.Load() {
+		open = OpenBankMappedWarm
+	}
+	b, closer, err := open(path)
 	if err != nil {
 		s.evictBroken(key, path, err)
 		return nil, nil

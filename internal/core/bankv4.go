@@ -287,6 +287,19 @@ func (nopCloser) Close() error { return nil }
 // and platforms without mmap degrade to a heap load with a no-op Closer, so
 // call sites need no platform branches.
 func OpenBankMapped(path string) (*Bank, io.Closer, error) {
+	return openBankMapped(path, false)
+}
+
+// OpenBankMappedWarm is OpenBankMapped with the mapping pre-touched
+// (bankseg.File.Warm: madvise WILLNEED + one read per page) before the bank
+// is returned, so the first row sweep pays no major faults. The trade is
+// open latency proportional to file size — daemons opt in with -mmap-warm.
+// Each warmed mapping increments bank_mapped_warm_total.
+func OpenBankMappedWarm(path string) (*Bank, io.Closer, error) {
+	return openBankMapped(path, true)
+}
+
+func openBankMapped(path string, warm bool) (*Bank, io.Closer, error) {
 	f, err := bankseg.Open(path)
 	if errors.Is(err, bankseg.ErrNotSegmented) {
 		b, err := LoadBank(path)
@@ -306,6 +319,9 @@ func OpenBankMapped(path string) (*Bank, io.Closer, error) {
 	if !refs {
 		f.Close()
 		return b, nopCloser{}, nil
+	}
+	if warm && f.Warm() > 0 {
+		metricsInstruments().MappedWarmTotal.Inc()
 	}
 	return b, f, nil
 }

@@ -399,3 +399,83 @@ func FuzzBankV4(f *testing.F) {
 		}
 	})
 }
+
+// TestOpenBankMappedWarm covers the -mmap-warm open path: the warm open
+// must serve identical content to the plain mapped open, bump the
+// bank_mapped_warm_total counter, and pre-touch only real mappings
+// (bankseg.File.Warm reports 0 for an unmapped file).
+func TestOpenBankMappedWarm(t *testing.T) {
+	b, _ := tinyBank(t)
+	path := filepath.Join(t.TempDir(), "warm.bank")
+	if err := SaveBankV4(b, path); err != nil {
+		t.Fatal(err)
+	}
+
+	before := metricsInstruments().MappedWarmTotal.Value()
+	warm, closer, err := OpenBankMappedWarm(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closer.Close()
+	if hashBankContent(warm) != hashBankContent(b) {
+		t.Fatal("warm-mapped bank differs from the original")
+	}
+	if got := metricsInstruments().MappedWarmTotal.Value(); got != before+1 {
+		t.Fatalf("bank_mapped_warm_total = %d after warm open, want %d", got, before+1)
+	}
+
+	// A plain mapped open must not pre-touch (counter unchanged).
+	plain, closer2, err := OpenBankMapped(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closer2.Close()
+	if hashBankContent(plain) != hashBankContent(b) {
+		t.Fatal("plain mapped bank differs from the original")
+	}
+	if got := metricsInstruments().MappedWarmTotal.Value(); got != before+1 {
+		t.Fatalf("bank_mapped_warm_total = %d after plain open, want %d", got, before+1)
+	}
+
+	// Warm on an unmapped (read-into-heap) segment file is a no-op.
+	f, err := bankseg.OpenHeap(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if n := f.Warm(); n != 0 {
+		t.Fatalf("Warm on unmapped file pre-touched %d bytes, want 0", n)
+	}
+}
+
+// TestBankStoreMappedWarm verifies the store-level knob: with
+// SetMappedWarm(true) a mapped cache hit goes through the warm open.
+func TestBankStoreMappedWarm(t *testing.T) {
+	b, _ := tinyBank(t)
+	dir := t.TempDir()
+	store, err := NewBankStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store.SetMapped(true)
+	store.SetMappedWarm(true)
+	key := "warmtest"
+	if err := store.Put(key, b); err != nil {
+		t.Fatal(err)
+	}
+	before := metricsInstruments().MappedWarmTotal.Value()
+	got, err := store.Get(key)
+	if err != nil {
+		t.Fatalf("Get(%q): %v", key, err)
+	}
+	if got == nil {
+		t.Fatalf("Get(%q) missed a bank just Put", key)
+	}
+	if hashBankContent(got) != hashBankContent(b) {
+		t.Fatal("warm store hit differs from the stored bank")
+	}
+	if after := metricsInstruments().MappedWarmTotal.Value(); after != before+1 {
+		t.Fatalf("bank_mapped_warm_total = %d after warm store hit, want %d", after, before+1)
+	}
+	store.Close()
+}

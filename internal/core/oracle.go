@@ -67,13 +67,19 @@ func NewBankOracle(b *Bank, partition float64, scheme eval.Scheme, seed uint64) 
 	return &BankOracle{bank: b, partition: partition, pi: pi, evaluator: ev, full: full, seed: seed}, nil
 }
 
+// trialSalts interns the "trial-<n>" salt strings shared by WithTrial copies
+// and the block scheduler, byte-identical to the fmt.Sprintf("trial-%d", n)
+// derivation the salts historically used (pinned by
+// TestWithTrialSaltMatchesLegacy).
+var trialSalts = hpo.NewIDCache("trial-")
+
 // WithTrial returns a copy whose evaluation subsamples are decorrelated from
 // other trials (bootstrap trials must observe independent client subsets).
 // The copy carries its own scratch buffers, so one trial's evaluations reuse
 // memory; use each copy from a single goroutine, as RunTrials does.
 func (o *BankOracle) WithTrial(trial int) *BankOracle {
 	c := *o
-	c.trialSalt = fmt.Sprintf("trial-%d", trial)
+	c.trialSalt = trialSalts.ID(trial)
 	c.scratch = &oracleScratch{g: rng.New(0)}
 	return &c
 }
@@ -169,10 +175,35 @@ func (o *BankOracle) Bank() *Bank { return o.bank }
 // fmt.Fprintf(h, "%d|%s|%s", seed, trialSalt, evalID) historically produced
 // — allocation-free — pinned by TestEvalSeedMatchesLegacyDerivation.
 func (o *BankOracle) evalSeed(evalID string) uint64 {
+	return o.evalSeedFor(o.trialSalt, evalID)
+}
+
+// evalSeedFor is evalSeed with an explicit trial salt: the block scheduler
+// derives cohort seeds for many trials through one shared base oracle, so
+// the salt is a parameter instead of WithTrial copy state. evalSeed is a
+// pure function of (seed, trialSalt, evalID) — this is what makes blocked
+// execution bit-identical to sequential regardless of scheduling.
+func (o *BankOracle) evalSeedFor(trialSalt, evalID string) uint64 {
+	return o.evalSeedPrefix(trialSalt).String(evalID).Sum()
+}
+
+// evalSeedPrefix is the evalID-independent FNV prefix of evalSeedFor
+// ("<seed>|<trialSalt>|"): the scheduler hashes it once per trial and folds
+// only the evalID per ask.
+func (o *BankOracle) evalSeedPrefix(trialSalt string) rng.FNV64a {
 	return rng.NewFNV64a().
 		Uint64Decimal(o.seed).Byte('|').
-		String(o.trialSalt).Byte('|').
-		String(evalID).Sum()
+		String(trialSalt).Byte('|')
+}
+
+// EvaluateRows is the oracle's row-sweep entry point: it evaluates the arena
+// row of pool config ci at checkpoint index ri once for every cohort seed,
+// returning one Result per seed (valid until the scratch's next use). Cohort
+// c is bit-identical to Evaluate on a WithTrial copy whose evalSeed equals
+// seeds[c]; the block scheduler uses this to answer a whole wave of asks
+// that share a row with a single walk of it.
+func (o *BankOracle) EvaluateRows(ci, ri int, seeds []uint64, ms *eval.MultiScratch) []eval.Result {
+	return o.evaluator.EvaluateMulti(o.bank.Errs.Row(o.pi, ci, ri), seeds, ms)
 }
 
 // LiveOracle trains configurations on demand with a real federated trainer,

@@ -85,6 +85,11 @@ type Tuner struct {
 	Method   hpo.Method
 	Space    hpo.Space
 	Settings hpo.Settings
+	// SequentialTrials forces the legacy one-goroutine-per-trial execution
+	// of RunTrials instead of the block scheduler (DESIGN.md §14). The two
+	// paths produce bit-identical results — this is an operational escape
+	// hatch (-blocked-trials=false on the daemons), not a semantic knob.
+	SequentialTrials bool
 }
 
 // Run executes a single tuning run.
@@ -102,20 +107,27 @@ type TrialResult struct {
 }
 
 // RunTrials runs n independent bootstrap trials of the tuner on a bank
-// oracle, parallelized across trials. Trial i uses oracle.WithTrial(i) and
-// the RNG stream g.Split("trial-i"), so results are deterministic and
-// independent of scheduling.
+// oracle. Trial i draws its method randomness from the RNG stream
+// g.Split("trial-i") and its evaluation cohorts from the "trial-i" salt, so
+// results are deterministic and independent of scheduling. By default trials
+// execute on the block scheduler (runTrialsBlocked), which drives all n
+// method coroutines in waves and evaluates each touched arena row once per
+// wave; SequentialTrials selects the legacy per-trial-goroutine path. Both
+// produce bit-identical results (TestRunTrialsBlockedMatchesSequential).
 func (t Tuner) RunTrials(oracle *BankOracle, n int, g *rng.RNG) []TrialResult {
 	return t.RunTrialsProgress(oracle, n, g, nil)
 }
 
 // RunTrialsProgress is RunTrials with per-trial progress reporting: onTrial
 // (when non-nil) is invoked once per finished trial — in completion order,
-// serialized by an internal lock, so the callback needs no synchronization of
-// its own — with that trial's result and the number of trials completed so
-// far. The returned slice is identical to RunTrials: progress observation
-// never perturbs results.
+// serialized, so the callback needs no synchronization of its own — with
+// that trial's result and the number of trials completed so far. The
+// returned slice is identical to RunTrials: progress observation never
+// perturbs results.
 func (t Tuner) RunTrialsProgress(oracle *BankOracle, n int, g *rng.RNG, onTrial func(res TrialResult, completed int)) []TrialResult {
+	if !t.SequentialTrials {
+		return t.runTrialsBlocked(oracle, n, g, onTrial)
+	}
 	results := make([]TrialResult, n)
 	workers := runtime.GOMAXPROCS(0)
 	m := metricsInstruments()

@@ -1,0 +1,140 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+
+	"noisyeval/internal/fl"
+	"noisyeval/internal/rng"
+)
+
+// MultiScratch holds the reusable state of a blocked evaluation sweep:
+// repeated EvaluateMulti calls through the same scratch allocate nothing once
+// the buffers have grown to the pool size. A scratch belongs to one goroutine
+// at a time (the block scheduler gives each worker its own). The zero value
+// is ready to use.
+type MultiScratch struct {
+	g       *rng.RNG  // reseeded once per cohort
+	results []Result  // returned slice, reused across calls
+	idx     []int     // persistent identity permutation (uniform sampling)
+	idxN    int       // prefix of idx currently holding the identity
+	undo    []int     // swap partners of the last partial shuffle (uniform)
+	bias    []float64 // per-row bias weights, shared by all cohorts (biased)
+	keys    []float64 // Efraimidis-Spirakis key buffer (biased)
+	bidx    []int     // subset buffer (biased)
+}
+
+// ensureIdentity makes idx[:n] the identity permutation. The uniform path
+// keeps this as an invariant between cohorts (swaps are undone after each
+// draw), so the fill runs only when the pool size changes.
+func (s *MultiScratch) ensureIdentity(n int) {
+	s.idx = growInts(s.idx, n)
+	if s.idxN == n {
+		return
+	}
+	for i := range s.idx[:n] {
+		s.idx[i] = i
+	}
+	s.idxN = n
+}
+
+// EvaluateMulti walks one per-client error row once and produces the
+// evaluation release for many independent cohorts, one per seed. Cohort c is
+// bit-identical to
+//
+//	g := rng.New(seeds[c]); e.Evaluate(errs, g)
+//
+// (equivalently EvaluateScratch on a Reseed'd stream): each cohort's draws
+// come from its own reseeded stream, so batching changes neither randomness
+// consumption nor the released values. The row-invariant work is hoisted out
+// of the per-cohort loop: full-pool aggregates are computed once and shared,
+// bias weights (accuracy+δ)^b are computed once per row, and the uniform
+// sampler reuses a persistent identity permutation with undo records instead
+// of refilling a pool-sized buffer per cohort.
+//
+// The returned slice and any buffers it references are owned by the scratch
+// and valid until its next use. Unlike Evaluate, Result.Subset is nil: the
+// blocked path only consumes the released scalars, and retaining per-cohort
+// subsets would force a pool-sized allocation per cohort.
+func (e *Evaluator) EvaluateMulti(errs []float64, seeds []uint64, s *MultiScratch) []Result {
+	if len(errs) != len(e.weights) {
+		panic(fmt.Sprintf("eval: error vector length %d, want %d clients", len(errs), len(e.weights)))
+	}
+	if s == nil {
+		s = &MultiScratch{}
+	}
+	if s.g == nil {
+		s.g = rng.New(0)
+	}
+	if cap(s.results) < len(seeds) {
+		s.results = make([]Result, len(seeds))
+	}
+	out := s.results[:len(seeds)]
+	n := len(errs)
+	k := e.scheme.Count
+	private := e.scheme.DP.Private()
+	switch {
+	case k >= n && e.scheme.Bias == 0:
+		// Full pool: the subset is the identity for every cohort and
+		// sampling consumes no randomness, so the aggregate is shared.
+		sampled := fl.WeightedError(errs, e.weights, nil)
+		for c, seed := range seeds {
+			observed := sampled
+			if private {
+				s.g.Reseed(seed)
+				observed = e.scheme.DP.Release(sampled, n, s.g)
+			}
+			out[c] = Result{Observed: observed, Sampled: sampled}
+		}
+	case e.scheme.Bias == 0:
+		s.ensureIdentity(n)
+		s.undo = growInts(s.undo, k)
+		idx, undo := s.idx, s.undo
+		for c, seed := range seeds {
+			s.g.Reseed(seed)
+			// Partial Fisher-Yates over the persistent identity: the same
+			// swaps SampleWithoutReplacementInto performs on a fresh fill,
+			// so idx[:k] matches the sequential subset draw exactly.
+			for i := 0; i < k; i++ {
+				j := i + s.g.IntN(n-i)
+				undo[i] = j
+				idx[i], idx[j] = idx[j], idx[i]
+			}
+			sampled := fl.WeightedError(errs, e.weights, idx[:k])
+			observed := sampled
+			if private {
+				observed = e.scheme.DP.Release(sampled, k, s.g)
+			}
+			for i := k - 1; i >= 0; i-- {
+				j := undo[i]
+				idx[i], idx[j] = idx[j], idx[i]
+			}
+			out[c] = Result{Observed: observed, Sampled: sampled}
+		}
+	default:
+		// Biased sampling: the (accuracy+δ)^b weights depend only on the
+		// row, not the cohort — compute them once for the whole block.
+		s.bias = growFloats(s.bias, n)
+		s.keys = growFloats(s.keys, n)
+		s.bidx = growInts(s.bidx, n)
+		w := s.bias
+		for i, err := range errs {
+			acc := 1 - err
+			if acc < 0 {
+				acc = 0
+			}
+			w[i] = math.Pow(acc+e.scheme.BiasDelta, e.scheme.Bias)
+		}
+		for c, seed := range seeds {
+			s.g.Reseed(seed)
+			subset := s.g.WeightedSampleWithoutReplacementInto(w, k, s.keys, s.bidx)
+			sampled := fl.WeightedError(errs, e.weights, subset)
+			observed := sampled
+			if private {
+				observed = e.scheme.DP.Release(sampled, len(subset), s.g)
+			}
+			out[c] = Result{Observed: observed, Sampled: sampled}
+		}
+	}
+	return out
+}

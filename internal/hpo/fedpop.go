@@ -1,7 +1,6 @@
 package hpo
 
 import (
-	"fmt"
 	"math"
 
 	"noisyeval/internal/dp"
@@ -76,8 +75,10 @@ func (fp FedPop) Run(o Oracle, space Space, s Settings, g *rng.RNG) *History {
 
 	members := make([]fl.HParams, pop)
 	trained := make([]int, pop) // rounds already trained per member
+	gSub := rng.New(0)
 	for i := range members {
-		members[i] = sampleConfig(o, space, g.Splitf("member-%d", i))
+		g.SplitIntInto(gSub, "member-", i)
+		members[i] = sampleConfig(o, space, gSub)
 	}
 
 	cum := 0
@@ -99,14 +100,18 @@ func (fp FedPop) Run(o Oracle, space Space, s Settings, g *rng.RNG) *History {
 		// Shared evaluation cohort per generation (Figure 2 of the paper);
 		// under DP the one-shot top-k mechanism calibrates to the ladder
 		// length like a single SHA bracket.
-		evalID := fmt.Sprintf("fedpop-gen-%d", gen)
+		evalID := fedpopGenIDs.ID(gen)
 		errs := make([]float64, pop)
-		for i, cfg := range members {
-			errs[i] = o.Evaluate(cfg, r, evalID)
-		}
+		batch := EvalBatch{Configs: members, SameRounds: r, SameEvalID: evalID, Out: errs}
+		EvaluateAll(o, &batch)
 		scale := dp.TopKScale(len(ladder), keep, o.SampleSize(), s.Epsilon)
-		noisy := dp.OneShotNoisy(errs, scale, g.Splitf("noise-%d", gen))
+		var noiseG *rng.RNG
+		if scale > 0 {
+			noiseG = g.Splitf("noise-%d", gen)
+		}
+		noisy := dp.OneShotNoisy(errs, scale, noiseG)
 
+		h.Grow(pop)
 		for i, cfg := range members {
 			h.Add(Observation{
 				Config: cfg, Rounds: r, Observed: noisy[i],

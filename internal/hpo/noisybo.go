@@ -1,7 +1,6 @@
 package hpo
 
 import (
-	"fmt"
 	"math"
 
 	"noisyeval/internal/dp"
@@ -57,9 +56,12 @@ func (m NoisyBO) Run(o Oracle, space Space, s Settings, g *rng.RNG) *History {
 		return h
 	}
 	cands := make([]fl.HParams, nCandidates)
+	gSub := rng.New(0)
 	for i := range cands {
-		cands[i] = sampleConfig(o, space, g.Splitf("cand-%d", i))
+		g.SplitIntInto(gSub, "cand-", i)
+		cands[i] = sampleConfig(o, space, gSub)
 	}
+	h.Grow(m.EvalBudget)
 
 	// Posterior state per candidate.
 	sum := make([]float64, nCandidates)
@@ -77,9 +79,11 @@ func (m NoisyBO) Run(o Oracle, space Space, s Settings, g *rng.RNG) *History {
 		std = math.Sqrt(1 / (tau0 + tauL))
 		return mean, std
 	}
-	observe := func(i int, evalID string, dpLabel string) {
+	observe := func(i int, evalID string, dpPrefix string, dpN int) {
 		obs := o.Evaluate(cands[i], maxR, evalID)
-		obs = dpp.Release(obs, o.SampleSize(), g.Split(dpLabel))
+		if dpp.Private() {
+			obs = dpp.Release(obs, o.SampleSize(), g.Splitf(dpPrefix, dpN))
+		}
 		sum[i] += obs
 		count[i]++
 		mean, _ := post(i)
@@ -99,7 +103,7 @@ func (m NoisyBO) Run(o Oracle, space Space, s Settings, g *rng.RNG) *History {
 			break
 		}
 		cum += maxR
-		observe(i, fmt.Sprintf("nbo-init-%d", i), fmt.Sprintf("dp-init-%d", i))
+		observe(i, nboInitIDs.ID(i), "dp-init-%d", i)
 		evals++
 	}
 
@@ -111,7 +115,8 @@ func (m NoisyBO) Run(o Oracle, space Space, s Settings, g *rng.RNG) *History {
 				continue
 			}
 			mean, std := post(i)
-			draw := g.Splitf("ts-%d-%d", evals, i).Normal(mean, std)
+			g.SplitInt2Into(gSub, "ts-", evals, "-", i)
+			draw := gSub.Normal(mean, std)
 			if draw < bestDraw {
 				best, bestDraw = i, draw
 			}
@@ -119,7 +124,7 @@ func (m NoisyBO) Run(o Oracle, space Space, s Settings, g *rng.RNG) *History {
 		if best < 0 {
 			break
 		}
-		observe(best, fmt.Sprintf("nbo-ts-%d", evals), fmt.Sprintf("dp-ts-%d", evals))
+		observe(best, nboTSIDs.ID(evals), "dp-ts-%d", evals)
 	}
 	return h
 }

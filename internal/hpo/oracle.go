@@ -41,6 +41,63 @@ type Oracle interface {
 	MaxRounds() int
 }
 
+// EvalBatch is a set of independent evaluation asks answered together.
+// Configs lists the asks; Rounds and EvalIDs give per-ask fidelities and
+// evaluation IDs, or — when nil — SameRounds/SameEvalID apply to every ask
+// (the shared-cohort rung shape of SHA and FedPop). Out receives the
+// observed errors and must be pre-sized to len(Configs).
+type EvalBatch struct {
+	Configs    []fl.HParams
+	Rounds     []int
+	EvalIDs    []string
+	SameRounds int
+	SameEvalID string
+	Out        []float64
+}
+
+// RoundsAt returns ask i's fidelity.
+func (b *EvalBatch) RoundsAt(i int) int {
+	if b.Rounds != nil {
+		return b.Rounds[i]
+	}
+	return b.SameRounds
+}
+
+// EvalIDAt returns ask i's evaluation ID.
+func (b *EvalBatch) EvalIDAt(i int) string {
+	if b.EvalIDs != nil {
+		return b.EvalIDs[i]
+	}
+	return b.SameEvalID
+}
+
+// BatchOracle is an optional Oracle extension: an oracle that can accept many
+// independent asks per suspension implements it to amortize per-ask transfer
+// cost (the EvalStream proxy pays one coroutine round-trip per batch instead
+// of one per evaluation).
+type BatchOracle interface {
+	Oracle
+	EvaluateBatch(b *EvalBatch)
+}
+
+// EvaluateAll answers every ask in b: through the oracle's batch interface
+// when it has one, else by looping Evaluate in ask order. Every ask's answer
+// is a pure function of (config, rounds, evalID) for the oracles in this
+// repository, so the two paths fill Out identically and methods may batch
+// independent evaluations without perturbing recorded histories.
+func EvaluateAll(o Oracle, b *EvalBatch) {
+	if len(b.Out) != len(b.Configs) {
+		panic("hpo: EvalBatch.Out not sized to its asks")
+	}
+	if bo, ok := o.(BatchOracle); ok && len(b.Configs) > 1 {
+		bo.EvaluateBatch(b)
+		return
+	}
+	for i, cfg := range b.Configs {
+		b.Out[i] = o.Evaluate(cfg, b.RoundsAt(i), b.EvalIDAt(i))
+	}
+}
+
 // Budget is the tuning resource budget, measured in training rounds as in
 // the paper (§3, "Hyperparameters"): 6480 rounds total, at most 405 per
 // configuration, K = 16 configurations for RS and TPE.
@@ -140,6 +197,19 @@ type History struct {
 
 // Add appends an observation.
 func (h *History) Add(o Observation) { h.Observations = append(h.Observations, o) }
+
+// Grow ensures capacity for at least n further observations without
+// reallocation. Methods call it once up front with the budgeted evaluation
+// count so the per-trial log is a single allocation instead of the
+// append-doubling ladder.
+func (h *History) Grow(n int) {
+	if n <= 0 || cap(h.Observations)-len(h.Observations) >= n {
+		return
+	}
+	grown := make([]Observation, len(h.Observations), len(h.Observations)+n)
+	copy(grown, h.Observations)
+	h.Observations = grown
+}
 
 // RoundsConsumed returns the total training rounds the run consumed.
 func (h *History) RoundsConsumed() int {

@@ -1,8 +1,6 @@
 package hpo
 
 import (
-	"fmt"
-
 	"noisyeval/internal/rng"
 )
 
@@ -40,10 +38,12 @@ func (m OneShotProxyRS) Run(target Oracle, space Space, s Settings, g *rng.RNG) 
 	if pc := s.Budget.MaxPerConfig; pc < proxyMaxR {
 		proxyMaxR = pc
 	}
+	gSub := rng.New(0)
 	best, bestErr := sampleConfig(m.Proxy, space, g.Split("cfg-0")), 0.0
 	for i := 0; i < s.Budget.K; i++ {
-		cfg := sampleConfig(m.Proxy, space, g.Splitf("cfg-%d", i))
-		err := m.Proxy.Evaluate(cfg, proxyMaxR, fmt.Sprintf("proxy-eval-%d", i))
+		g.SplitIntInto(gSub, "cfg-", i)
+		cfg := sampleConfig(m.Proxy, space, gSub)
+		err := m.Proxy.Evaluate(cfg, proxyMaxR, proxyEvalIDs.ID(i))
 		if i == 0 || err < bestErr {
 			best, bestErr = cfg, err
 		}

@@ -1,9 +1,10 @@
 package hpo
 
 import (
-	"fmt"
+	"strconv"
 
 	"noisyeval/internal/dp"
+	"noisyeval/internal/fl"
 	"noisyeval/internal/rng"
 )
 
@@ -35,17 +36,41 @@ func (m ResampledRS) Run(o Oracle, space Space, s Settings, g *rng.RNG) *History
 	k := s.Budget.K
 	// DP: every one of the K*reps releases consumes budget.
 	dpp := dp.Params{Epsilon: s.Epsilon, TotalEvals: k * reps}
+	h.Grow(k)
+	gSub := rng.New(0)
+	// All K·reps evaluations are independent of one another, so the full
+	// resampling grid is one batch (see RandomSearch.Run for the
+	// bit-identity argument); DP releases stay in (i, rep) order below.
+	cfgs := make([]fl.HParams, 0, k)
+	evalCfgs := make([]fl.HParams, 0, k*reps)
+	ids := make([]string, 0, k*reps)
 	cum := 0
 	for i := 0; i < k; i++ {
 		if cum+maxR > s.Budget.TotalRounds {
 			break
 		}
-		cfg := sampleConfig(o, space, g.Splitf("cfg-%d", i))
+		g.SplitIntInto(gSub, "cfg-", i)
+		cfg := sampleConfig(o, space, gSub)
+		cfgs = append(cfgs, cfg)
+		iStr := strconv.Itoa(i)
+		for rep := 0; rep < reps; rep++ {
+			evalCfgs = append(evalCfgs, cfg)
+			ids = append(ids, "reeval-"+iStr+"-"+strconv.Itoa(rep))
+		}
+		cum += maxR
+	}
+	batch := EvalBatch{Configs: evalCfgs, EvalIDs: ids, SameRounds: maxR, Out: make([]float64, len(evalCfgs))}
+	EvaluateAll(o, &batch)
+	cum = 0
+	for i, cfg := range cfgs {
 		cum += maxR
 		sum := 0.0
 		for rep := 0; rep < reps; rep++ {
-			obs := o.Evaluate(cfg, maxR, fmt.Sprintf("reeval-%d-%d", i, rep))
-			sum += dpp.Release(obs, o.SampleSize(), g.Splitf("dp-%d-%d", i, rep))
+			obs := batch.Out[i*reps+rep]
+			if dpp.Private() {
+				obs = dpp.Release(obs, o.SampleSize(), g.Splitf("dp-%d-%d", i, rep))
+			}
+			sum += obs
 		}
 		h.Add(Observation{
 			Config:    cfg,

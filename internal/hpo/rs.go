@@ -1,9 +1,8 @@
 package hpo
 
 import (
-	"fmt"
-
 	"noisyeval/internal/dp"
+	"noisyeval/internal/fl"
 	"noisyeval/internal/rng"
 )
 
@@ -23,17 +22,38 @@ func (RandomSearch) Run(o Oracle, space Space, s Settings, g *rng.RNG) *History 
 	h := &History{MethodName: "RS"}
 	maxR := perConfigRounds(o, s)
 	k := s.Budget.K
+	h.Grow(k)
 	dpp := dp.Params{Epsilon: s.Epsilon, TotalEvals: k}
+	gSub := rng.New(0) // reseeded per iteration; same streams as Splitf
+	// The K draws are iid — no draw depends on an earlier answer — so the
+	// asks are sampled first (same per-i RNG streams as the historical
+	// interleaved loop) and evaluated as one batch. Each answer is a pure
+	// function of (config, rounds, evalID), so the history is bit-identical
+	// to evaluating inside the sampling loop.
+	cfgs := make([]fl.HParams, 0, k)
+	ids := make([]string, 0, k)
 	cum := 0
 	for i := 0; i < k; i++ {
 		if cum+maxR > s.Budget.TotalRounds {
 			break
 		}
-		cfg := sampleConfig(o, space, g.Splitf("cfg-%d", i))
+		g.SplitIntInto(gSub, "cfg-", i)
+		cfgs = append(cfgs, sampleConfig(o, space, gSub))
+		ids = append(ids, rsEvalIDs.ID(i))
 		cum += maxR
-		evalID := fmt.Sprintf("rs-eval-%d", i)
-		observed := o.Evaluate(cfg, maxR, evalID)
-		observed = dpp.Release(observed, o.SampleSize(), g.Splitf("dp-%d", i))
+	}
+	batch := EvalBatch{Configs: cfgs, EvalIDs: ids, SameRounds: maxR, Out: make([]float64, len(cfgs))}
+	EvaluateAll(o, &batch)
+	cum = 0
+	for i, cfg := range cfgs {
+		cum += maxR
+		observed := batch.Out[i]
+		if dpp.Private() {
+			// Split consumes no parent randomness and a non-private Release
+			// is the identity, so skipping both off the private path leaves
+			// every stream byte-identical.
+			observed = dpp.Release(observed, o.SampleSize(), g.Splitf("dp-%d", i))
+		}
 		h.Add(Observation{
 			Config:    cfg,
 			Rounds:    maxR,
@@ -74,17 +94,30 @@ func (gs GridSearch) Run(o Oracle, space Space, s Settings, g *rng.RNG) *History
 		return h
 	}
 	k := s.Budget.K
+	h.Grow(minInt(k, len(grid)))
 	dpp := dp.Params{Epsilon: s.Epsilon, TotalEvals: minInt(k, len(grid))}
+	// Grid points are fixed upfront, so the whole walk is one batch (see
+	// RandomSearch.Run for the bit-identity argument).
+	m := 0
+	ids := make([]string, 0, minInt(k, len(grid)))
 	cum := 0
 	for i := 0; i < len(grid) && i < k; i++ {
 		if cum+maxR > s.Budget.TotalRounds {
 			break
 		}
-		cfg := grid[i]
+		ids = append(ids, gridEvalIDs.ID(i))
 		cum += maxR
-		evalID := fmt.Sprintf("grid-eval-%d", i)
-		observed := o.Evaluate(cfg, maxR, evalID)
-		observed = dpp.Release(observed, o.SampleSize(), g.Splitf("dp-%d", i))
+		m++
+	}
+	batch := EvalBatch{Configs: grid[:m], EvalIDs: ids, SameRounds: maxR, Out: make([]float64, m)}
+	EvaluateAll(o, &batch)
+	cum = 0
+	for i, cfg := range grid[:m] {
+		cum += maxR
+		observed := batch.Out[i]
+		if dpp.Private() {
+			observed = dpp.Release(observed, o.SampleSize(), g.Splitf("dp-%d", i))
+		}
 		h.Add(Observation{
 			Config:    cfg,
 			Rounds:    maxR,

@@ -1,8 +1,8 @@
 package hpo
 
 import (
-	"fmt"
 	"math"
+	"strconv"
 
 	"noisyeval/internal/dp"
 	"noisyeval/internal/fl"
@@ -55,12 +55,12 @@ func runSHA(o Oracle, cfgs []fl.HParams, p shaParams, totalBudget int, cum *int,
 		}
 		*cum += cost
 
-		// Shared evaluation cohort for the rung (Figure 2 of the paper).
-		evalID := fmt.Sprintf("%s-rung-%d", p.label, rung)
+		// Shared evaluation cohort for the rung (Figure 2 of the paper); the
+		// survivors' evaluations are independent, so the rung is one batch.
+		evalID := p.label + "-rung-" + strconv.Itoa(rung)
 		errs := make([]float64, len(survivors))
-		for i, cfg := range survivors {
-			errs[i] = o.Evaluate(cfg, r, evalID)
-		}
+		batch := EvalBatch{Configs: survivors, SameRounds: r, SameEvalID: evalID, Out: errs}
+		EvaluateAll(o, &batch)
 
 		// Keep count for this rung's selection.
 		k := len(survivors) / p.eta
@@ -68,8 +68,16 @@ func runSHA(o Oracle, cfgs []fl.HParams, p shaParams, totalBudget int, cum *int,
 			k = 1
 		}
 		scale := dp.TopKScale(p.totalRungs, k, o.SampleSize(), p.epsilon)
-		noisy := dp.OneShotNoisy(errs, scale, g.Splitf("%s-noise-%d", p.label, rung))
+		var noiseG *rng.RNG
+		if scale > 0 {
+			// The split is only derived when noise is actually drawn: Split
+			// consumes no parent randomness and OneShotNoisy at scale 0 never
+			// touches its RNG, so the non-private stream is unchanged.
+			noiseG = g.Splitf("%s-noise-%d", p.label, rung)
+		}
+		noisy := dp.OneShotNoisy(errs, scale, noiseG)
 
+		h.Grow(len(survivors))
 		for i, cfg := range survivors {
 			h.Add(Observation{
 				Config: cfg, Rounds: r, Observed: noisy[i],
@@ -122,8 +130,10 @@ func (sh SuccessiveHalving) Run(o Oracle, space Space, s Settings, g *rng.RNG) *
 		n = pow(s.Eta, len(rungLadder(r0, maxR, s.Eta))-1)
 	}
 	cfgs := make([]fl.HParams, n)
+	gSub := rng.New(0)
 	for i := range cfgs {
-		cfgs[i] = sampleConfig(o, space, g.Splitf("cfg-%d", i))
+		g.SplitIntInto(gSub, "cfg-", i)
+		cfgs[i] = sampleConfig(o, space, gSub)
 	}
 	p := shaParams{
 		r0: r0, maxR: maxR, eta: s.Eta,
@@ -190,14 +200,15 @@ func runHyperbandLoop(o Oracle, space Space, s Settings, g *rng.RNG, h *History,
 	}
 
 	cum := 0
+	gSub := rng.New(0)
 	for bi, plan := range plans {
 		cfgs := make([]fl.HParams, plan.n)
 		for i := range cfgs {
-			label := g.Splitf("bracket-%d-cfg-%d", bi, i)
+			g.SplitInt2Into(gSub, "bracket-", bi, "-cfg-", i)
 			if bohb != nil {
-				cfgs[i] = bohb.propose(o, space, label)
+				cfgs[i] = bohb.propose(o, space, gSub)
 			} else {
-				cfgs[i] = sampleConfig(o, space, label)
+				cfgs[i] = sampleConfig(o, space, gSub)
 			}
 		}
 		var onRung func(int, []fl.HParams, []float64)
@@ -208,7 +219,7 @@ func runHyperbandLoop(o Oracle, space Space, s Settings, g *rng.RNG, h *History,
 			r0: plan.r0, maxR: maxR, eta: s.Eta,
 			epsilon:    s.Epsilon,
 			totalRungs: totalRungs,
-			label:      fmt.Sprintf("hb-bracket-%d", bi),
+			label:      "hb-bracket-" + strconv.Itoa(bi),
 		}
 		before := cum
 		runSHA(o, cfgs, p, s.Budget.TotalRounds, &cum, h, g.Splitf("bracket-%d", bi), onRung)

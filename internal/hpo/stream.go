@@ -1,0 +1,205 @@
+package hpo
+
+import (
+	"iter"
+
+	"noisyeval/internal/fl"
+	"noisyeval/internal/rng"
+)
+
+// errEvalStreamClosed is the sentinel panic that unwinds a method whose
+// stream is closed before it finishes.
+type errEvalStreamClosed struct{}
+
+// EvalStream is the synchronous, single-goroutine form of the AskTellDriver
+// coroutine inversion: the method runs as an iter.Pull coroutine against a
+// proxy oracle whose Evaluate yields an EvalRequest and suspends. Next
+// resumes the method until its next ask (or completion); Tell supplies the
+// answer the suspended Evaluate call will return.
+//
+// Where AskTellDriver pays two channel handshakes — four scheduler wakeups —
+// per evaluation to serve concurrent session callers, EvalStream switches
+// directly between caller and method on one goroutine, which is what the
+// block scheduler needs to drive hundreds of trials at sub-microsecond
+// per-eval cost. The protocol and semantics are AskTellDriver's: the same
+// EvalRequest type, sequential IDs from 0, one pending ask at a time, and
+// answering every ask with the real oracle's Evaluate result reproduces
+// m.Run(o, space, s, g) observation for observation. Non-Evaluate oracle
+// calls (TrueError, Pool, …) forward synchronously to o.
+//
+// An EvalStream belongs to one goroutine; distinct streams are independent.
+type EvalStream struct {
+	next    func() (EvalRequest, bool)
+	stop    func()
+	hist    *History
+	reply   float64
+	nextID  int
+	pending bool // an ask is outstanding and unanswered
+	done    bool
+
+	// A method that calls EvaluateAll against the proxy suspends once with a
+	// whole EvalBatch; Next/Tell then serve the batch one flattened ask at a
+	// time without resuming the coroutine until every item is answered. The
+	// consumer observes the identical ask sequence either way — batching
+	// only removes coroutine switches.
+	batch    *EvalBatch
+	batchPos int
+}
+
+// NewEvalStream prepares m.Run(o, space, s, g) for stepwise execution. The
+// method does not start running until the first Next call.
+func NewEvalStream(m Method, o Oracle, space Space, s Settings, g *rng.RNG) *EvalStream {
+	st := &EvalStream{}
+	st.next, st.stop = iter.Pull(func(yield func(EvalRequest) bool) {
+		defer func() {
+			// Close unwinds the coroutine with the sentinel; swallow it so
+			// stop() returns cleanly. Genuine method panics propagate to
+			// whichever Next/Close call resumed the coroutine, exactly as a
+			// direct m.Run would panic on the caller's goroutine.
+			if r := recover(); r != nil {
+				if _, closed := r.(errEvalStreamClosed); !closed {
+					panic(r)
+				}
+			}
+		}()
+		st.hist = m.Run(&streamOracle{o: o, st: st, yield: yield}, space, s, g)
+	})
+	return st
+}
+
+// streamOracle is the proxy handed to the driven method: Evaluate suspends
+// the coroutine, everything else forwards.
+type streamOracle struct {
+	o     Oracle
+	st    *EvalStream
+	yield func(EvalRequest) bool
+}
+
+func (p *streamOracle) Evaluate(cfg fl.HParams, rounds int, evalID string) float64 {
+	st := p.st
+	id := st.nextID
+	st.nextID++
+	if !p.yield(EvalRequest{ID: id, Config: cfg, PoolIndex: -1, Rounds: rounds, EvalID: evalID}) {
+		panic(errEvalStreamClosed{})
+	}
+	return st.reply
+}
+
+// EvaluateBatch suspends once for the whole batch; EvalStream.Next flattens
+// it into the usual one-ask-at-a-time protocol on the consumer side, so the
+// only observable difference from looping Evaluate is one coroutine
+// round-trip instead of len(b.Configs).
+func (p *streamOracle) EvaluateBatch(b *EvalBatch) {
+	if len(b.Configs) == 0 {
+		return
+	}
+	st := p.st
+	st.batch, st.batchPos = b, 0
+	if !p.yield(EvalRequest{}) {
+		panic(errEvalStreamClosed{})
+	}
+	st.batch = nil
+}
+func (p *streamOracle) TrueError(cfg fl.HParams, rounds int) float64 {
+	return p.o.TrueError(cfg, rounds)
+}
+func (p *streamOracle) SampleSize() int    { return p.o.SampleSize() }
+func (p *streamOracle) Pool() []fl.HParams { return p.o.Pool() }
+func (p *streamOracle) MaxRounds() int     { return p.o.MaxRounds() }
+
+// Next resumes the method until it asks for an evaluation or finishes. ok is
+// false when the method has returned (History is then valid). The previous
+// ask must have been answered with Tell; requests carry PoolIndex -1 (the
+// block scheduler resolves configs against the bank's own index instead).
+func (s *EvalStream) Next() (EvalRequest, bool) {
+	if s.done {
+		return EvalRequest{}, false
+	}
+	if s.pending {
+		panic("hpo: EvalStream.Next with an unanswered ask (call Tell first)")
+	}
+	if s.batch != nil {
+		if s.batchPos < len(s.batch.Configs) {
+			return s.serveBatchItem()
+		}
+		s.batch = nil // batch fully answered: resume the coroutine below
+	}
+	req, ok := s.next()
+	if !ok {
+		s.done = true
+		s.stop()
+		return EvalRequest{}, false
+	}
+	if s.batch != nil {
+		// The coroutine suspended with a whole EvalBatch (the yielded request
+		// is a placeholder): serve its first item instead.
+		return s.serveBatchItem()
+	}
+	s.pending = true
+	return req, true
+}
+
+func (s *EvalStream) serveBatchItem() (EvalRequest, bool) {
+	b, i := s.batch, s.batchPos
+	id := s.nextID
+	s.nextID++
+	s.pending = true
+	return EvalRequest{ID: id, Config: b.Configs[i], PoolIndex: -1, Rounds: b.RoundsAt(i), EvalID: b.EvalIDAt(i)}, true
+}
+
+// Batch exposes the method's whole pending batch when the ask the last Next
+// returned is its first item, and nil otherwise. A batch-aware consumer (the
+// block scheduler) answers wholesale — fill every Out element, call
+// FinishBatch instead of Tell, and Next as usual — skipping the per-item
+// flattening; the method observes the identical answers either way.
+func (s *EvalStream) Batch() *EvalBatch {
+	if s.batch != nil && s.pending && s.batchPos == 0 {
+		return s.batch
+	}
+	return nil
+}
+
+// FinishBatch marks every item of the pending batch answered (the caller
+// filled Out directly). The ask IDs the flattened items would have consumed
+// are still burned, so the ID sequence matches the per-item protocol.
+func (s *EvalStream) FinishBatch() {
+	if s.batch == nil || !s.pending || s.batchPos != 0 {
+		panic("hpo: FinishBatch without a whole pending batch")
+	}
+	s.nextID += len(s.batch.Configs) - 1 // item 0's ID was assigned by Next
+	s.batchPos = len(s.batch.Configs)
+	s.pending = false
+}
+
+// Tell records the observed error the suspended Evaluate call returns when
+// Next resumes the method.
+func (s *EvalStream) Tell(observed float64) {
+	if !s.pending {
+		panic("hpo: EvalStream.Tell with no pending ask")
+	}
+	if s.batch != nil {
+		s.batch.Out[s.batchPos] = observed
+		s.batchPos++
+	} else {
+		s.reply = observed
+	}
+	s.pending = false
+}
+
+// Done reports whether the method has finished.
+func (s *EvalStream) Done() bool { return s.done }
+
+// History returns the finished method's observation log (nil until Done).
+func (s *EvalStream) History() *History { return s.hist }
+
+// Close releases the stream. A suspended method unwinds without completing;
+// Close after completion (or before the first Next) is a no-op. Callers that
+// abandon a stream mid-run must Close it so the coroutine is collected.
+func (s *EvalStream) Close() {
+	if s.done {
+		return
+	}
+	s.done = true
+	s.pending = false
+	s.stop()
+}

@@ -1,0 +1,143 @@
+package hpo
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"noisyeval/internal/rng"
+)
+
+// drainStream answers every ask with ans's evaluation until the method
+// finishes, returning its history.
+func drainStream(t *testing.T, st *EvalStream, ans Oracle) *History {
+	t.Helper()
+	for {
+		req, ok := st.Next()
+		if !ok {
+			if !st.Done() || st.History() == nil {
+				t.Fatal("stream finished without a history")
+			}
+			return st.History()
+		}
+		st.Tell(ans.Evaluate(req.Config, req.Rounds, req.EvalID))
+	}
+}
+
+// TestEvalStreamParity is the synchronous inversion contract: stepping any
+// method through an EvalStream, answering each ask with the real oracle,
+// reproduces the direct Run observation for observation.
+func TestEvalStreamParity(t *testing.T) {
+	methods := []Method{RandomSearch{}, GridSearch{}, SuccessiveHalving{}, TPE{}, Hyperband{}, FedPop{}, NoisyBO{}, ResampledRS{}}
+	for _, m := range methods {
+		t.Run(m.Name(), func(t *testing.T) {
+			s := smallSettings()
+			space := DefaultSpace()
+
+			direct := newTestOracle(0.05)
+			want := m.Run(direct, space, s, rng.New(42))
+
+			st := NewEvalStream(m, newTestOracle(0.05), space, s, rng.New(42))
+			defer st.Close()
+			got := drainStream(t, st, newTestOracle(0.05))
+
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("stream history diverges from direct run: %d vs %d obs", len(want.Observations), len(got.Observations))
+			}
+		})
+	}
+}
+
+// TestEvalStreamSequentialIDs pins the AskTellDriver-compatible protocol:
+// IDs count up from 0 and every request carries PoolIndex -1.
+func TestEvalStreamSequentialIDs(t *testing.T) {
+	o := newTestOracle(0.01)
+	st := NewEvalStream(RandomSearch{}, o, DefaultSpace(), smallSettings(), rng.New(7))
+	defer st.Close()
+	want := 0
+	for {
+		req, ok := st.Next()
+		if !ok {
+			break
+		}
+		if req.ID != want {
+			t.Fatalf("ask ID = %d, want %d", req.ID, want)
+		}
+		if req.PoolIndex != -1 {
+			t.Fatalf("ask PoolIndex = %d, want -1", req.PoolIndex)
+		}
+		want++
+		st.Tell(0.5)
+	}
+	if want == 0 {
+		t.Fatal("method never asked")
+	}
+}
+
+// TestEvalStreamCloseMidRun proves an abandoned stream unwinds cleanly: no
+// history, no panic escaping Close, and further Next calls report done.
+func TestEvalStreamCloseMidRun(t *testing.T) {
+	st := NewEvalStream(RandomSearch{}, newTestOracle(0.01), DefaultSpace(), smallSettings(), rng.New(7))
+	if _, ok := st.Next(); !ok {
+		t.Fatal("expected a first ask")
+	}
+	st.Tell(0.5)
+	st.Close()
+	if st.History() != nil {
+		t.Fatal("closed mid-run stream should have no history")
+	}
+	if _, ok := st.Next(); ok {
+		t.Fatal("Next after Close should report done")
+	}
+}
+
+// TestEvalStreamPropagatesMethodPanic pins panic transparency: a method
+// panic surfaces at the Next call that resumed it, like a direct Run would.
+func TestEvalStreamPropagatesMethodPanic(t *testing.T) {
+	st := NewEvalStream(panickyMethod{}, newTestOracle(0.01), DefaultSpace(), smallSettings(), rng.New(7))
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("expected the method panic to propagate out of Next")
+		}
+	}()
+	st.Next()
+}
+
+type panickyMethod struct{}
+
+func (panickyMethod) Name() string { return "panicky" }
+func (panickyMethod) Run(Oracle, Space, Settings, *rng.RNG) *History {
+	panic("boom")
+}
+
+// TestIDCacheMatchesSprintf pins the interned evalID strings byte-equal to
+// the legacy fmt.Sprintf derivation, across growth boundaries and under
+// concurrent access.
+func TestIDCacheMatchesSprintf(t *testing.T) {
+	c := NewIDCache("rs-eval-")
+	for _, n := range []int{0, 1, 7, 63, 64, 65, 128, 4095, -3} {
+		want := fmt.Sprintf("rs-eval-%d", n)
+		if got := c.ID(n); got != want {
+			t.Fatalf("ID(%d) = %q, want %q", n, got, want)
+		}
+	}
+	// Interning: repeated lookups return the identical string header.
+	if a, b := c.ID(42), c.ID(42); a != b {
+		t.Fatal("repeated ID lookups disagree")
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for n := 0; n < 500; n++ {
+				if got := c.ID(n); got != fmt.Sprintf("rs-eval-%d", n) {
+					t.Errorf("concurrent ID(%d) = %q", n, got)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -1,7 +1,6 @@
 package hpo
 
 import (
-	"fmt"
 	"math"
 	"sort"
 
@@ -40,8 +39,10 @@ func (t TPE) Run(o Oracle, space Space, s Settings, g *rng.RNG) *History {
 	h := &History{MethodName: "TPE"}
 	maxR := perConfigRounds(o, s)
 	k := s.Budget.K
+	h.Grow(k)
 	dpp := dp.Params{Epsilon: s.Epsilon, TotalEvals: k}
 
+	gSub := rng.New(0) // reseeded per iteration; same streams as Splitf
 	var observed []scoredConfig
 	cum := 0
 	for i := 0; i < k; i++ {
@@ -50,13 +51,17 @@ func (t TPE) Run(o Oracle, space Space, s Settings, g *rng.RNG) *History {
 		}
 		var cfg fl.HParams
 		if i < t.NStartup || len(observed) < t.NStartup {
-			cfg = sampleConfig(o, space, g.Splitf("startup-%d", i))
+			g.SplitIntInto(gSub, "startup-", i)
+			cfg = sampleConfig(o, space, gSub)
 		} else {
-			cfg = t.propose(observed, o, space, g.Splitf("propose-%d", i))
+			g.SplitIntInto(gSub, "propose-", i)
+			cfg = t.propose(observed, o, space, gSub)
 		}
 		cum += maxR
-		obs := o.Evaluate(cfg, maxR, fmt.Sprintf("tpe-eval-%d", i))
-		obs = dpp.Release(obs, o.SampleSize(), g.Splitf("dp-%d", i))
+		obs := o.Evaluate(cfg, maxR, tpeEvalIDs.ID(i))
+		if dpp.Private() {
+			obs = dpp.Release(obs, o.SampleSize(), g.Splitf("dp-%d", i))
+		}
 		h.Add(Observation{
 			Config: cfg, Rounds: maxR, Observed: obs,
 			True: o.TrueError(cfg, maxR), CumRounds: cum,

@@ -20,24 +20,40 @@ import (
 // math/rand/v2 and supports deriving independent child streams via Split.
 // An RNG is not safe for concurrent use; Split off one stream per goroutine.
 type RNG struct {
-	src  *rand.PCG
-	r    *rand.Rand
+	// src and r are embedded by value — one RNG is one allocation, which
+	// matters when the block scheduler creates two streams per trial. r's
+	// Source always points at the sibling src field, so an RNG must never be
+	// copied by value (use pointers, as every API here does).
+	src  rand.PCG
+	r    rand.Rand
 	seed uint64
 	path string
 
 	// Deferred path representation, used by the allocation-free SplitInto
 	// helpers: when deferred is true the logical path is
 	// parentPath + "/" + labelBuf and path is materialized lazily by Path().
+	// labelBuf aliases labelArr until a label outgrows it, so the first
+	// SplitInto against a fresh stream allocates nothing.
 	parentPath string
 	labelBuf   []byte
+	labelArr   [32]byte
 	deferred   bool
+
+	// prefixHash caches the label-independent FNV prefix of deriveSeed
+	// (hex seed, '/', path, '/'): it changes only when the stream is
+	// reseeded, while hot loops derive many sibling labels from one parent.
+	prefixHash uint64
+	prefixOK   bool
 }
 
 // New returns an RNG seeded with seed. The second PCG word is a fixed
 // golden-ratio constant so that nearby seeds still give decorrelated streams.
 func New(seed uint64) *RNG {
-	src := rand.NewPCG(seed, seed^0x9e3779b97f4a7c15)
-	return &RNG{src: src, r: rand.New(src), seed: seed, path: ""}
+	g := &RNG{seed: seed}
+	g.src.Seed(seed, seed^0x9e3779b97f4a7c15)
+	g.r = *rand.New(&g.src)
+	g.labelBuf = g.labelArr[:0]
+	return g
 }
 
 // Split derives an independent child stream labelled by label. The child's
@@ -114,16 +130,17 @@ func (h FNV64a) Sum() uint64 { return uint64(h) }
 
 // deriveSeed returns the child seed Split(string(label)) computes.
 func (g *RNG) deriveSeed(label []byte) uint64 {
-	const hexDigits = "0123456789abcdef"
-	h := uint64(fnvOffset64)
-	for shift := 60; shift >= 0; shift -= 4 {
-		h = fnvByte(h, hexDigits[(g.seed>>uint(shift))&0xf])
+	if !g.prefixOK {
+		const hexDigits = "0123456789abcdef"
+		h := uint64(fnvOffset64)
+		for shift := 60; shift >= 0; shift -= 4 {
+			h = fnvByte(h, hexDigits[(g.seed>>uint(shift))&0xf])
+		}
+		h = fnvByte(h, '/')
+		h = g.hashPath(h)
+		g.prefixHash, g.prefixOK = fnvByte(h, '/'), true
 	}
-	h = fnvByte(h, '/')
-	h = g.hashPath(h)
-	h = fnvByte(h, '/')
-	h = fnvBytes(h, label)
-	return h
+	return fnvBytes(g.prefixHash, label)
 }
 
 // hashPath folds this stream's split-path into h without materializing it:
@@ -142,6 +159,7 @@ func (g *RNG) hashPath(h uint64) uint64 {
 // resulting stream is byte-identical to a freshly constructed RNG.
 func (g *RNG) reseed(seed uint64) {
 	g.seed = seed
+	g.prefixOK = false
 	g.src.Seed(seed, seed^0x9e3779b97f4a7c15)
 }
 

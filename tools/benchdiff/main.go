@@ -10,6 +10,9 @@
 //     (a hot path engineered to be allocation-free), so ANY allocation is a
 //     failure regardless of fractions
 //   - allocs/op beyond -max-allocs-frac of baseline, when set
+//   - a custom higher-is-better metric named in -metrics (e.g. trials/s)
+//     dropping more than -max-metric-drop below baseline, when the metric is
+//     present in both entries
 //
 // CI runs it after the bench smoke job so hot-path regressions fail the
 // build instead of landing silently; `make bench-check` runs the identical
@@ -84,7 +87,18 @@ func main() {
 	benchList := flag.String("bench", "", "comma-separated benchmark names to gate (empty = all common)")
 	maxRegress := flag.Float64("max-regress", 0.25, "allowed fractional ns/op regression before failing")
 	maxAllocsFrac := flag.Float64("max-allocs-frac", 0, "if > 0, fail when allocs/op exceeds this fraction of the baseline's (machine-independent, so it can gate much tighter than ns/op)")
+	metricsList := flag.String("metrics", "", "comma-separated custom higher-is-better metrics (e.g. trials/s) gated when present in both entries")
+	maxMetricDrop := flag.Float64("max-metric-drop", 0.25, "allowed fractional drop in a -metrics metric before failing")
 	flag.Parse()
+
+	var customMetrics []string
+	if *metricsList != "" {
+		for _, m := range strings.Split(*metricsList, ",") {
+			if m = strings.TrimSpace(m); m != "" {
+				customMetrics = append(customMetrics, m)
+			}
+		}
+	}
 
 	base, err := load(*baselinePath)
 	if err != nil {
@@ -152,12 +166,32 @@ func main() {
 			status = fmt.Sprintf("ALLOCS REGRESSION (%.0f > %.0f%% of baseline %.0f)", la, *maxAllocsFrac*100, ba)
 			failed = true
 		}
+		// Custom metrics are throughput-style (higher is better): fail when
+		// latest drops below (1 - max-metric-drop) of baseline. Gated only
+		// when the metric is present in both entries so benchmarks that don't
+		// report it are unaffected.
+		var metricNotes []string
+		for _, m := range customMetrics {
+			bm, okBM := b.Metrics[m]
+			lm, okLM := l.Metrics[m]
+			if !okBM || !okLM || bm <= 0 {
+				continue
+			}
+			metricNotes = append(metricNotes, fmt.Sprintf("%s %.0f -> %.0f", m, bm, lm))
+			if lm < bm*(1-*maxMetricDrop) {
+				status = fmt.Sprintf("%s REGRESSION (%.0f < %.0f%% of baseline %.0f)", m, lm, (1-*maxMetricDrop)*100, bm)
+				failed = true
+			}
+		}
 		fmt.Printf("%-32s %14.0f -> %14.0f ns/op  (%.2fx baseline", name, bn, ln, ratio)
 		if bb > 0 || lb > 0 {
 			fmt.Printf(", B/op %.0f -> %.0f", bb, lb)
 		}
 		if ba > 0 || la > 0 {
 			fmt.Printf(", allocs %.0f -> %.0f", ba, la)
+		}
+		for _, note := range metricNotes {
+			fmt.Printf(", %s", note)
 		}
 		fmt.Printf(")  %s\n", status)
 	}
